@@ -1,0 +1,74 @@
+"""Ablations of the §III-D design choices.
+
+Each benchmark knocks out one Cepheus mechanism and demonstrates the
+failure mode the paper predicts for its absence.
+"""
+
+from conftest import run_once
+
+from repro.harness.ablations import (ablation_ack_trigger,
+                                     ablation_cnp_filter,
+                                     ablation_deployment,
+                                     ablation_nack_rule,
+                                     ablation_retransmit_filter,
+                                     ablation_state_memory)
+
+
+def test_ablation_ack_trigger(benchmark, record_result):
+    """Trigger Condition off -> ACK explosion at the sender."""
+    res = run_once(benchmark, ablation_ack_trigger, quick=True)
+    record_result(res)
+    by = {r["variant"]: r for r in res.rows}
+    assert by["no-trigger"]["sender_acks"] > 3 * by["with-trigger"]["sender_acks"]
+
+
+def test_ablation_nack_rule(benchmark, record_result):
+    """MePSN rule off -> inter-covering permanently stalls receivers."""
+    res = run_once(benchmark, ablation_nack_rule, quick=True)
+    record_result(res)
+    by = {r["variant"]: r for r in res.rows}
+    assert by["with-mepsn"]["receivers_done"] == \
+        by["with-mepsn"]["receivers_total"]
+    assert by["no-mepsn"]["receivers_done"] < \
+        by["no-mepsn"]["receivers_total"]
+
+
+def test_ablation_cnp_filter(benchmark, record_result):
+    """CNP filter off -> magnified congestion signal over-throttles."""
+    res = run_once(benchmark, ablation_cnp_filter, quick=True)
+    record_result(res)
+    by = {r["variant"]: r for r in res.rows}
+    assert by["with-filter"]["goodput_gbps"] > \
+        1.2 * by["no-filter"]["goodput_gbps"]
+    assert by["with-filter"]["sender_cnps"] <= by["no-filter"]["sender_cnps"]
+
+
+def test_ablation_retransmit_filter(benchmark, record_result):
+    """Filter off -> duplicate retransmissions reach receivers."""
+    res = run_once(benchmark, ablation_retransmit_filter, quick=True)
+    record_result(res)
+    by = {r["variant"]: r for r in res.rows}
+    assert by["with-filter"]["filtered"] > 0
+    assert by["no-filter"]["filtered"] == 0
+    assert by["no-filter"]["dup_deliveries"] > \
+        by["with-filter"]["dup_deliveries"]
+
+
+def test_ablation_deployment(benchmark, record_result):
+    """FPGA look-aside detour vs proposed ASIC inline integration."""
+    res = run_once(benchmark, ablation_deployment, quick=True)
+    record_result(res)
+    by = {r["deployment"]: r for r in res.rows}
+    assert by["lookaside"]["small_jct_us"] > by["inline"]["small_jct_us"]
+    # At the prototype's 4x100G capacity, throughput is not the limiter.
+    assert by["lookaside"]["large_jct_ms"] < 1.1 * by["inline"]["large_jct_ms"]
+    assert by["lookaside"]["detours"] > 0 == by["inline"]["detours"]
+
+
+def test_ablation_state_memory(benchmark, record_result):
+    """Hierarchical per-path state vs naive per-receiver tracking."""
+    res = run_once(benchmark, ablation_state_memory, quick=True)
+    record_result(res)
+    biggest = res.rows[-1]
+    assert biggest["hierarchical_B"] < 800          # bounded by radix
+    assert biggest["per_receiver_B"] > 40_000       # linear in group size

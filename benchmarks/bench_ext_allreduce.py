@@ -1,0 +1,46 @@
+"""Extension benchmark — §VIII future work: collective compositions.
+
+Not a paper figure: quantifies the Parameter-Server allreduce built
+from the reduction primitives + Cepheus distribution, against the
+unicast-distribution PS baselines and ring allreduce.
+"""
+
+from conftest import run_once
+
+from repro.apps import Cluster
+from repro.collectives import AllReduce
+from repro.harness.report import ExperimentResult, fmt_size
+
+MB = 1 << 20
+
+
+def _experiment(quick: bool = True) -> ExperimentResult:
+    sizes = [4 * MB, 64 * MB] if quick else [4 * MB, 64 * MB, 256 * MB]
+    res = ExperimentResult(
+        exp_id="ext-allreduce",
+        title="PS allreduce with Cepheus distribution (8 nodes)",
+        headers=["size", "ps_cepheus_ms", "ps_binomial_ms",
+                 "ps_unicast_ms", "ring_ms"],
+        paper_claim="§I: multicast accelerates PS parameter distribution "
+                    "(extension, not a paper figure)",
+    )
+    for size in sizes:
+        row = {"size": fmt_size(size)}
+        for strat, key in (("ps-cepheus", "ps_cepheus_ms"),
+                           ("ps-binomial", "ps_binomial_ms"),
+                           ("ps-multi-unicast", "ps_unicast_ms"),
+                           ("ring", "ring_ms")):
+            cl = Cluster.testbed(8)
+            row[key] = AllReduce(cl, cl.host_ips, strat).run(size).total * 1e3
+        res.rows.append(row)
+    return res
+
+
+def test_ext_allreduce(benchmark, record_result):
+    res = run_once(benchmark, _experiment, quick=True)
+    record_result(res)
+    for row in res.rows:
+        assert row["ps_cepheus_ms"] < row["ps_binomial_ms"]
+        assert row["ps_cepheus_ms"] < row["ps_unicast_ms"]
+    # At the large end, PS+Cepheus plays in ring allreduce's league.
+    assert res.rows[-1]["ps_cepheus_ms"] < 1.3 * res.rows[-1]["ring_ms"]

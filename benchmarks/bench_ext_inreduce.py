@@ -1,0 +1,47 @@
+"""Extension benchmark — §VIII future work: in-network many-to-one.
+
+Not a paper figure: the experimental reduce-mode MDT (contributions
+combine in-network, root feedback replicates down) against the host-
+level binomial reduce, over star and fat-tree fabrics.
+"""
+
+from conftest import run_once
+
+from repro.apps import Cluster
+from repro.collectives import BinomialReduce
+from repro.ext import InNetworkReduce
+from repro.harness.report import ExperimentResult, fmt_size
+
+MB = 1 << 20
+
+
+def _experiment(quick: bool = True) -> ExperimentResult:
+    sizes = [64 * 1024, 8 * MB] if quick else [64 * 1024, 8 * MB, 64 * MB]
+    res = ExperimentResult(
+        exp_id="ext-inreduce",
+        title="In-network reduction vs host-level binomial (8 members)",
+        headers=["fabric", "size", "in_network_us", "binomial_us", "speedup"],
+        paper_claim="§VIII: 'extend Cepheus for ... many-to-one "
+                    "(e.g., MPI-Reduce)' (extension, not a paper figure)",
+    )
+    for fabric, mk in (("star", lambda: Cluster.testbed(8)),
+                       ("fat-tree", lambda: Cluster.fat_tree_cluster(4))):
+        for size in sizes:
+            cl = mk()
+            inr = InNetworkReduce(cl, cl.host_ips[:8]).run(size)
+            cl2 = mk()
+            host = BinomialReduce(cl2, cl2.host_ips[:8]).run(size)
+            res.rows.append({
+                "fabric": fabric, "size": fmt_size(size),
+                "in_network_us": inr.duration * 1e6,
+                "binomial_us": host.duration * 1e6,
+                "speedup": host.duration / inr.duration,
+            })
+    return res
+
+
+def test_ext_inreduce(benchmark, record_result):
+    res = run_once(benchmark, _experiment, quick=True)
+    record_result(res)
+    for row in res.rows:
+        assert row["speedup"] > 1.5, row

@@ -1,0 +1,58 @@
+"""Extension benchmark — §V-C's remedy: IRN under the Fig. 13 loss sweep.
+
+The paper: "the recently-proposed IRN can substantially enhance
+Cepheus' tolerance to higher loss rates."  This benchmark re-runs the
+loss-tolerance experiment with the transport's selective-repeat mode
+and quantifies exactly that.
+"""
+
+from conftest import run_once
+
+from repro.apps import Cluster
+from repro.collectives import CepheusBcast
+from repro.harness.report import ExperimentResult
+from repro.transport import RoceConfig
+
+MB = 1 << 20
+
+
+def _experiment(quick: bool = True) -> ExperimentResult:
+    size = (8 if quick else 32) * MB
+    rates = [0.0, 1e-3, 5e-3] if quick else [0.0, 1e-4, 1e-3, 5e-3, 1e-2]
+    res = ExperimentResult(
+        exp_id="ext-irn",
+        title="Cepheus loss tolerance: go-back-N vs IRN (16 members, k=4)",
+        headers=["mode", "loss_rate", "fct_ms", "goodput_gbps",
+                 "retransmits", "timeouts"],
+        paper_claim="§V-C: IRN can substantially enhance Cepheus' "
+                    "tolerance to higher loss rates",
+    )
+    for mode in ("gbn", "irn"):
+        for rate in rates:
+            cl = Cluster.fat_tree_cluster(
+                4, roce_config=RoceConfig(retransmit_mode=mode, rto=400e-6))
+            cl.topo.set_loss_rate(rate, layers=("agg", "core"))
+            algo = CepheusBcast(cl, cl.host_ips)
+            r = algo.run(size)
+            qp = algo.qps[algo.root]
+            res.rows.append({
+                "mode": mode, "loss_rate": rate,
+                "fct_ms": r.jct * 1e3,
+                "goodput_gbps": r.goodput_gbps(),
+                "retransmits": qp.retransmitted_packets,
+                "timeouts": qp.timeouts,
+            })
+    return res
+
+
+def test_ext_irn(benchmark, record_result):
+    res = run_once(benchmark, _experiment, quick=True)
+    record_result(res)
+    by = {(r["mode"], r["loss_rate"]): r for r in res.rows}
+    worst_rate = max(r["loss_rate"] for r in res.rows)
+    gbn = by[("gbn", worst_rate)]
+    irn = by[("irn", worst_rate)]
+    # "substantially enhance": order-of-magnitude at the worst rate.
+    assert irn["goodput_gbps"] > 5 * gbn["goodput_gbps"]
+    assert irn["timeouts"] == 0
+    assert irn["retransmits"] < 0.1 * gbn["retransmits"]

@@ -1,0 +1,17 @@
+"""Fig. 8 — MPI-Bcast JCT for small messages on the 4-host testbed.
+
+Paper claim: Cepheus is 2.5-3.5x faster than Binomial Tree and 3-5.2x
+faster than Chain for 64 B - 64 KB broadcasts.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig8_bcast_small
+
+
+def test_fig8_bcast_small(benchmark, record_result):
+    res = run_once(benchmark, fig8_bcast_small, quick=True)
+    record_result(res)
+    for row in res.rows:
+        assert 1.8 <= row["speedup_vs_bt"] <= 4.0, row
+        assert 2.3 <= row["speedup_vs_chain"] <= 5.5, row

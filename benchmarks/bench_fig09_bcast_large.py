@@ -1,0 +1,20 @@
+"""Fig. 9 — MPI-Bcast JCT for large messages on the 4-host testbed.
+
+Paper claim: Cepheus throughput is 1.3-2.8x Chain's and 2-2.8x BT's
+(Chain at 4 slices, the common practical configuration).
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig9_bcast_large
+
+
+def test_fig9_bcast_large(benchmark, record_result):
+    res = run_once(benchmark, fig9_bcast_large, quick=True)
+    record_result(res)
+    for row in res.rows:
+        assert 1.3 <= row["speedup_vs_chain"] <= 3.0, row
+        assert 1.8 <= row["speedup_vs_bt"] <= 3.2, row
+    # Cepheus itself runs at near line rate for the largest point.
+    biggest = res.rows[-1]
+    assert biggest["cepheus_ms"] > 0

@@ -1,0 +1,21 @@
+"""Fig. 10 — single IO latency of three-replica writes vs IO size.
+
+Paper claim: Cepheus cuts IO latency vs 3-unicasts by 23 % at 8 KB and
+60 % at 512 KB (the gap widens with IO size), while staying comparable
+to the ideal 1-unicast.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig10_storage_latency
+
+
+def test_fig10_storage_latency(benchmark, record_result):
+    res = run_once(benchmark, fig10_storage_latency, quick=True)
+    record_result(res)
+    reds = res.column("reduction_vs_3uni")
+    assert all(0.1 <= r <= 0.8 for r in reds)
+    assert reds[-1] > reds[0]           # widening gap
+    assert reds[-1] >= 0.5              # paper: -60% at 512KB
+    for row in res.rows:                # comparable to 1-unicast
+        assert row["cepheus_us"] <= 1.3 * row["unicast_us"]

@@ -1,0 +1,22 @@
+"""Fig. 11 — HPL end-to-end JCT and communication-time breakdown.
+
+Paper claim: accelerating Panel Broadcast cuts HPL JCT by 12 % (PB
+communication itself by 67 %); accelerating Row Swap cuts JCT by 4 %
+(RS communication by 18 %).  Runs the paper-scale N=8192 problem.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig11_hpl
+
+
+def test_fig11_hpl(benchmark, record_result):
+    res = run_once(benchmark, fig11_hpl, quick=True)
+    record_result(res)
+    by = {(r["experiment"].split(" ")[0], r["scheme"]): r for r in res.rows}
+    pb = by[("PB", "cepheus")]
+    rs = by[("RS", "cepheus")]
+    assert 0.50 <= pb["comm_reduction"] <= 0.85   # paper 67%
+    assert 0.06 <= pb["jct_reduction"] <= 0.20    # paper 12%
+    assert 0.08 <= rs["comm_reduction"] <= 0.35   # paper 18%
+    assert 0.00 <= rs["jct_reduction"] <= 0.10    # paper 4%

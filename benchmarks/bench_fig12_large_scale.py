@@ -1,0 +1,25 @@
+"""Fig. 12 — FCT of a large multicast group on a 3-layer fat-tree.
+
+Paper claim (512 members, 1024-server fabric): for short flows Cepheus
+is up to 164x faster than Chain and 4.5x faster than BT; for large
+flows 2.1x (Chain) and 8.9x (BT).  Quick mode runs a 64-member group
+on a k=8 fabric packet-level, stitching the validated analytic models
+for the largest sizes (see EXPERIMENTS.md).
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig12_large_scale
+
+
+def test_fig12_large_scale(benchmark, record_result):
+    res = run_once(benchmark, fig12_large_scale, quick=True)
+    record_result(res)
+    small, large = res.rows[0], res.rows[-1]
+    # Short flows: Chain's linear latency explodes, BT stays logarithmic.
+    assert small["speedup_vs_chain"] > 20
+    assert small["speedup_vs_bt"] > 3
+    assert small["speedup_vs_chain"] > small["speedup_vs_bt"]
+    # Large flows: BT's log(n) full-copy rounds are the bigger penalty.
+    assert large["speedup_vs_bt"] > large["speedup_vs_chain"] > 1.5
+    assert {"packet", "analytic"} == set(res.column("mode"))

@@ -1,0 +1,35 @@
+"""Fig. 13 — FCT and normalized throughput under packet loss.
+
+Paper claim (scales 64 & 512, loss 1e-8..1e-4 at the middle switches):
+Cepheus keeps a better FCT than Chain at scale 64, degrades more
+steeply in normalized throughput (its go-back-N retransmissions serve
+*all* receivers), and at scale 512 with 1e-4 loss falls behind Chain —
+hence the paper's recommendation to deploy in PFC-lossless fabrics.
+
+Scale substitution: quick mode runs 16/64-member groups with 4/8 MB
+flows (see EXPERIMENTS.md).
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig13_loss
+
+
+def test_fig13_loss(benchmark, record_result):
+    res = run_once(benchmark, fig13_loss, quick=True)
+    record_result(res)
+    ceph = [r for r in res.rows if r["scheme"] == "cepheus"]
+    chain = [r for r in res.rows if r["scheme"] == "chain"]
+    # Clean network: normalized throughput is exactly 1.
+    assert all(r["norm_tput"] == 1.0 for r in ceph if r["loss_rate"] == 0)
+    # Loss visibly hits Cepheus harder than Chain (norm_tput drop).
+    worst_c = min(r["norm_tput"] for r in ceph)
+    worst_ch = min(r["norm_tput"] for r in chain)
+    assert worst_c < 1.0
+    assert worst_c <= worst_ch + 1e-9
+    # But at these scales Cepheus still wins on absolute FCT everywhere.
+    by = {(r["scale"], r["loss_rate"], r["scheme"]): r["fct_ms"]
+          for r in res.rows}
+    for (scale, rate, scheme), fct in by.items():
+        if scheme == "cepheus":
+            assert fct < by[(scale, rate, "chain")]

@@ -1,0 +1,40 @@
+"""Fig. 14 — throughput dynamics of one multicast + two unicast flows.
+
+Paper claim: the Cepheus multicast flow f1 grabs the full bandwidth,
+converges toward a fair share when unicast f2 starts, re-grabs the
+bandwidth when f2 ends, and re-converges when f3 starts — i.e. stock
+DCQCN drives the multicast flow like any unicast flow thanks to the
+in-network CNP filtering.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig14_fairness
+
+
+def test_fig14_fairness(benchmark, record_result):
+    from repro.harness.report import ascii_chart
+
+    res = run_once(benchmark, fig14_fairness, quick=True)
+    record_result(res)
+    print(ascii_chart({
+        "f1": res.column("f1_gbps"),
+        "f2": res.column("f2_gbps"),
+        "f3": res.column("f3_gbps"),
+    }, width=60, height=12, unit="G"))
+    f1 = res.column("f1_gbps")
+    f2 = res.column("f2_gbps")
+    # Phase 1: alone, f1 runs near line rate.
+    assert max(f1[:3]) > 90
+    # Phase 2: with f2 active, the bottleneck stays fully utilized and
+    # f2 holds a substantial share (convergence toward fairness).
+    # >5 Gbps excludes the partial buckets at f2's start/finish.
+    active = [i for i, v in enumerate(f2) if v > 5.0]
+    mid = active[len(active) // 2:]
+    for i in mid:
+        assert f1[i] + f2[i] > 85          # full utilization
+    assert max(f2[i] for i in mid) > 25    # f2 got a real share
+    # Phase 3: after f2 ends, f1 climbs back up.
+    after = [i for i in range(active[-1] + 1, len(f1))]
+    assert after and max(f1[i] for i in after) > max(
+        f1[i] for i in mid) + 10

@@ -1,0 +1,20 @@
+"""Table I — replication writing throughput (8 KB IOPS).
+
+Paper claim: 1-unicast 1.188 M, 3-unicasts 0.413 M, Cepheus 1.167 M
+IOPS; Cepheus goodput ~76.5 Gbps vs 26.24 Gbps for 3-unicasts.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import tab1_storage_iops
+
+
+def test_tab1_storage_iops(benchmark, record_result):
+    res = run_once(benchmark, tab1_storage_iops, quick=True)
+    record_result(res)
+    iops = {r["scheme"]: r["iops_M"] for r in res.rows}
+    gput = {r["scheme"]: r["goodput_gbps"] for r in res.rows}
+    assert 1.0 <= iops["1-unicast"] <= 1.4          # paper 1.188
+    assert 0.33 <= iops["3-unicasts"] <= 0.47       # paper 0.413
+    assert iops["cepheus"] >= 0.95 * iops["1-unicast"]  # paper 1.167
+    assert gput["cepheus"] > 2.5 * gput["3-unicasts"]   # paper 76.5/26.2

@@ -1,0 +1,35 @@
+"""Benchmark-suite plumbing.
+
+Every benchmark runs its experiment exactly once (``pedantic`` with one
+round — these are minutes-long discrete-event simulations, not
+microbenchmarks), prints the paper-style table, and archives it under
+``benchmarks/results/`` so the output survives pytest's capture.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.harness.report import ExperimentResult, format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Print + persist an ExperimentResult; returns the text."""
+
+    def _record(result: ExperimentResult) -> str:
+        text = format_table(result)
+        print("\n" + text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{result.exp_id}.txt"
+        path.write_text(text + "\n")
+        return text
+
+    return _record
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

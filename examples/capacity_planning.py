@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Capacity planning with the analytic models (§II-C quantified).
+
+Operators deploying AMcast must pick an overlay per message size: BT
+for short messages, Chain for long ones (the §II-C trade-off).  This
+example uses the validated closed-form models to (a) locate the
+BT/Chain crossover across group sizes, (b) show Cepheus' speedup over
+the *best* AMcast choice at every operating point, and (c) cross-check
+one point against the packet-level engine.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.analytic import (NetModel, binomial_jct, bt_chain_crossover,
+                            cepheus_jct, chain_jct)
+from repro.harness.report import fmt_size
+
+NET = NetModel(hops=5)  # 3-layer fat-tree path
+
+
+def crossover_table() -> None:
+    print("Where does Chain (slices = #hosts) overtake BT?\n")
+    print(f"{'group size':>10} {'crossover message size':>24}")
+    for n in (4, 16, 64, 256, 512):
+        x = bt_chain_crossover(n, NET)
+        print(f"{n:>10} {fmt_size(x):>24}")
+    print("\nBelow the crossover BT wins (log-depth latency); above it the "
+          "pipelined Chain wins.\nCepheus does not care: one wire-time at "
+          "every size.\n")
+
+
+def best_amcast_vs_cepheus() -> None:
+    print("Cepheus speedup over the BEST AMcast choice (512 members):\n")
+    print(f"{'size':>7} {'best AMcast':>12} {'amcast JCT':>12} "
+          f"{'cepheus JCT':>12} {'speedup':>8}")
+    n = 512
+    for size in (64, 64 << 10, 1 << 20, 64 << 20, 1 << 30):
+        bt = binomial_jct(size, n, NET)
+        ch = chain_jct(size, n, NET, slices=n)
+        best_name, best = ("BT", bt) if bt <= ch else ("Chain", ch)
+        ceph = cepheus_jct(size, n, NET, mdt_depth=5)
+        print(f"{fmt_size(size):>7} {best_name:>12} {best * 1e3:>10.3f}ms "
+              f"{ceph * 1e3:>10.3f}ms {best / ceph:>7.1f}x")
+
+
+def cross_check() -> None:
+    from repro.apps import Cluster
+    from repro.collectives import BinomialTreeBcast, CepheusBcast
+
+    print("\nCross-check (packet-level, 16 members on a k=4 fat-tree, 1MB):")
+    cl = Cluster.fat_tree_cluster(4)
+    sim_ceph = CepheusBcast(cl, cl.host_ips).run(1 << 20).jct
+    sim_bt = BinomialTreeBcast(cl, cl.host_ips).run(1 << 20).jct
+    mod_ceph = cepheus_jct(1 << 20, 16, NET, mdt_depth=3)
+    mod_bt = binomial_jct(1 << 20, 16, NetModel(hops=3))
+    print(f"  cepheus: model {mod_ceph * 1e6:7.1f}us vs engine "
+          f"{sim_ceph * 1e6:7.1f}us")
+    print(f"  bt     : model {mod_bt * 1e6:7.1f}us vs engine "
+          f"{sim_bt * 1e6:7.1f}us")
+
+
+def main() -> None:
+    crossover_table()
+    best_amcast_vs_cepheus()
+    cross_check()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Loss tolerance and the safeguard fallback (§V-C, §V-D).
+
+Part 1 sweeps random loss rates at the middle switches of a fat-tree
+and shows Cepheus' goodput degrading with loss (go-back-N retransmits
+serve *all* receivers — the paper's argument for PFC-lossless
+deployment).
+
+Part 2 demonstrates both §V-D fallback triggers:
+  * MFT registration failure (switch memory exhausted), and
+  * a mid-flight goodput collapse (the group's switch state vanishes),
+after which the broadcast transparently re-runs over Chain.
+
+Run:  python examples/lossy_fabric_fallback.py
+"""
+
+from repro.apps import Cluster
+from repro.collectives import CepheusBcast
+from repro.core.accelerator import AcceleratorConfig
+from repro.net.trace import collect_run_stats
+
+
+def loss_sweep() -> None:
+    size = 8 << 20
+    print("16-member multicast of 8MB on a k=4 fat-tree, loss injected "
+          "at agg/core switches\n")
+    print(f"{'loss rate':>9} {'FCT':>10} {'goodput':>12} {'drops':>6} "
+          f"{'retransmits':>12}")
+    for rate in (0.0, 1e-5, 1e-4, 1e-3):
+        cluster = Cluster.fat_tree_cluster(4)
+        cluster.topo.set_loss_rate(rate, layers=("agg", "core"))
+        algo = CepheusBcast(cluster, cluster.host_ips)
+        result = algo.run(size)
+        stats = collect_run_stats(cluster.topo)
+        qp = algo.qps[algo.root]
+        print(f"{rate:>9.0e} {result.jct * 1e3:>8.3f}ms "
+              f"{result.goodput_gbps():>9.1f}Gbps {stats.random_drops:>6} "
+              f"{qp.retransmitted_packets:>12}")
+
+
+def fallback_demo() -> None:
+    print("\n--- safeguard fallback ---\n")
+
+    # Trigger 1: the switch has no MFT memory left.
+    cluster = Cluster.testbed(4, accel_config=AcceleratorConfig(max_groups=0))
+    algo = CepheusBcast(cluster, cluster.host_ips)
+    result = algo.run(4 << 20)
+    print(f"registration failure -> fell back: {algo.fell_back}")
+    print(f"  reason    : {algo.fallback_reason}")
+    print(f"  algorithm : {result.algorithm}, all receivers done: "
+          f"{sorted(result.recv_times)}")
+
+    # Trigger 2: goodput collapses mid-flight.
+    cluster = Cluster.testbed(4)
+    algo = CepheusBcast(cluster, cluster.host_ips, safeguard=True,
+                        expected_bps=90e9)
+    algo.prepare()
+    cluster.sim.schedule(
+        50e-6,
+        lambda: cluster.fabric.accelerators["sw0"].table.remove(
+            algo.group.mcst_id))
+    result = algo.run(32 << 20)
+    print(f"\nmid-flight collapse  -> fell back: {algo.fell_back}")
+    print(f"  reason    : {algo.fallback_reason}")
+    print(f"  algorithm : {result.algorithm}, all receivers done: "
+          f"{sorted(result.recv_times)}")
+
+
+def partial_recovery_demo() -> None:
+    """The paper's envisioned fine-grained fallback: one member's rack
+    link dies mid-flight; instead of abandoning the in-network path,
+    probe membership and re-form the group around the survivors."""
+    from repro.net import FailureInjector
+
+    print("\n--- fine-grained (partial) recovery ---\n")
+    cluster = Cluster.fat_tree_cluster(4)
+    injector = FailureInjector(cluster.topo)
+    algo = CepheusBcast(cluster, [1, 2, 3, 5], safeguard=True,
+                        expected_bps=90e9, recovery="partial")
+    algo.prepare()
+    injector.fail_host_link(5, at=100e-6)
+    result = algo.run(32 << 20)
+    print(f"host 5's access link died mid-flight -> "
+          f"fell back: {algo.fell_back}")
+    print(f"  reason      : {algo.fallback_reason}")
+    print(f"  unreachable : {sorted(algo.unreachable)}")
+    print(f"  algorithm   : {result.algorithm}; survivors served "
+          f"in-network: {sorted(result.recv_times)}")
+
+
+def main() -> None:
+    loss_sweep()
+    fallback_demo()
+    partial_recovery_demo()
+
+
+if __name__ == "__main__":
+    main()

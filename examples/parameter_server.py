@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Parameter-Server gradient distribution with Cepheus (§I motivation +
+§VIII future-work extension).
+
+One data-parallel training step moves a gradient/update vector twice:
+
+  1. workers  --(reduce)-->  parameter server   (many-to-one)
+  2. PS       --(bcast) -->  workers            (one-to-many)
+
+Phase 2 is a multicast, and the paper's introduction names it as a
+Cepheus target ("multicast can accelerate the parameter distribution
+process in distributed DNN training architectures, such as Parameter
+Server").  This example times one full step for several model-update
+sizes under three strategies plus classic ring allreduce.
+
+Run:  python examples/parameter_server.py
+"""
+
+from repro.apps import Cluster
+from repro.collectives import AllReduce
+from repro.harness.report import fmt_size
+
+STRATEGIES = ("ps-cepheus", "ps-binomial", "ps-multi-unicast", "ring")
+
+
+def main() -> None:
+    n_nodes = 8
+    print(f"One training step ({n_nodes} nodes): reduce gradients to the "
+          f"PS, distribute the update\n")
+    header = f"{'update size':<12}" + "".join(f"{s:>19}" for s in STRATEGIES)
+    print(header)
+    for size in (4 << 20, 64 << 20, 256 << 20):
+        cells = []
+        for strategy in STRATEGIES:
+            cluster = Cluster.testbed(n_nodes)
+            result = AllReduce(cluster, cluster.host_ips, strategy).run(size)
+            cells.append(f"{result.total * 1e3:>13.2f} ms")
+        print(f"{fmt_size(size):<12}" + " ".join(f"{c:>18}" for c in cells))
+
+    print("\nBreakdown at 64MB (reduce vs distribute):")
+    for strategy in STRATEGIES:
+        cluster = Cluster.testbed(n_nodes)
+        r = AllReduce(cluster, cluster.host_ips, strategy).run(64 << 20)
+        print(f"  {strategy:<18} reduce {r.reduce_time * 1e3:7.2f} ms   "
+              f"distribute {r.distribute_time * 1e3:7.2f} ms   "
+              f"busbw {r.busbw_gbps():5.1f} Gbps")
+    print("\nWith Cepheus the distribution half collapses to one "
+          "wire-time — the PS pattern becomes competitive with ring "
+          "allreduce while keeping the PS's simplicity.")
+
+
+if __name__ == "__main__":
+    main()

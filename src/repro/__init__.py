@@ -1,0 +1,29 @@
+"""Cepheus reproduction: RoCE-capable in-network multicast (HPCA 2024).
+
+Top-level convenience exports; see the subpackages for the full API:
+
+* :mod:`repro.net`         -- discrete-event network substrate
+* :mod:`repro.transport`   -- RoCE RC + DCQCN model
+* :mod:`repro.core`        -- the Cepheus contribution
+* :mod:`repro.collectives` -- Cepheus bcast + AMcast baselines
+* :mod:`repro.apps`        -- cluster facade, MPI/storage/HPL applications
+* :mod:`repro.analytic`    -- closed-form JCT models
+* :mod:`repro.harness`     -- per-figure experiment harness
+"""
+
+from repro.apps import Cluster, Communicator
+from repro.collectives import (BinomialTreeBcast, CepheusBcast, ChainBcast,
+                               MultiUnicastBcast, RdmcBcast)
+from repro.core import CepheusFabric, MulticastGroup
+from repro.net import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster", "Communicator",
+    "CepheusBcast", "BinomialTreeBcast", "ChainBcast", "MultiUnicastBcast",
+    "RdmcBcast",
+    "CepheusFabric", "MulticastGroup",
+    "Simulator",
+    "__version__",
+]

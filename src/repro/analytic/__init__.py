@@ -1,0 +1,12 @@
+"""Closed-form JCT models for the sweep points packet-level simulation
+cannot reach (documented substitution, see DESIGN.md §2), plus the
+regime/crossover analysis built on them."""
+
+from repro.analytic.crossover import (bt_chain_crossover, find_crossover,
+                                      speedup_at)
+from repro.analytic.models import (NetModel, binomial_jct, cepheus_jct,
+                                   chain_jct, long_jct, rdmc_jct, unicast_jct)
+
+__all__ = ["NetModel", "cepheus_jct", "binomial_jct", "chain_jct",
+           "long_jct", "rdmc_jct", "unicast_jct",
+           "find_crossover", "bt_chain_crossover", "speedup_at"]

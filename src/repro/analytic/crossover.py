@@ -1,0 +1,72 @@
+"""Crossover analysis between broadcast schemes.
+
+§II-C's central observation is that no single overlay wins everywhere:
+BT is latency-friendly (small messages), Chain is throughput-friendly
+(large messages), and deployments must pick per message size — while
+Cepheus dominates both regimes.  This module locates those regime
+boundaries from the closed-form models, so studies can answer
+"from which message size does Chain beat BT at N members?" without
+sweeping the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.analytic.models import NetModel, binomial_jct, cepheus_jct, chain_jct
+
+__all__ = ["find_crossover", "bt_chain_crossover", "speedup_at"]
+
+
+def find_crossover(
+    f: Callable[[int], float],
+    g: Callable[[int], float],
+    lo: int = 64,
+    hi: int = 1 << 32,
+) -> Optional[int]:
+    """Smallest size in [lo, hi] where ``f(size) <= g(size)``, assuming
+    the sign of (f - g) changes at most once over the range (true for
+    the JCT models: their difference is monotone in size).
+
+    Returns None when ``f`` never catches up within the range.
+    """
+    if f(lo) <= g(lo):
+        return lo
+    if f(hi) > g(hi):
+        return None
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if f(mid) <= g(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def bt_chain_crossover(n: int, net: Optional[NetModel] = None,
+                       slices: Optional[int] = None) -> Optional[int]:
+    """Message size at which Chain starts beating BT for ``n`` members.
+
+    Below the returned size the logarithmic-latency BT wins; above it
+    the pipelined Chain wins — the §II-C "BT for short messages, Chain
+    for large messages" rule, quantified.  ``slices`` defaults to the
+    paper's "= #hosts" convention; with a small fixed slice count Chain
+    may never win at large N (the function then returns None).
+    """
+    net = net or NetModel()
+    s = n if slices is None else slices
+    return find_crossover(
+        lambda m: chain_jct(m, n, net, slices=s),
+        lambda m: binomial_jct(m, n, net),
+    )
+
+
+def speedup_at(size: int, n: int, net: Optional[NetModel] = None,
+               slices: Optional[int] = None) -> Tuple[float, float]:
+    """(Cepheus speedup vs BT, vs Chain) at one operating point, with
+    Chain sliced per the "= #hosts" convention by default."""
+    net = net or NetModel()
+    s = n if slices is None else slices
+    c = cepheus_jct(size, n, net)
+    return (binomial_jct(size, n, net) / c,
+            chain_jct(size, n, net, slices=s) / c)

@@ -1,0 +1,132 @@
+"""Closed-form JCT models.
+
+The paper's Fig. 12 sweeps flow sizes up to 1 GB over a 512-member
+group; packet-level simulation of the largest points is impractical in
+pure Python, so the benchmark harness stitches packet-level results
+(small/medium sizes) with these closed forms (large sizes).  The models
+share every constant with the packet engine — bandwidth, header tax,
+per-hop latency, host-stack costs — and
+``tests/analytic/test_validation.py`` pins them against packet-level
+results at the crossover sizes.
+
+All formulas give the JCT of a broadcast of ``size`` bytes to ``n-1``
+receivers, matching :class:`repro.collectives.base.BroadcastResult.jct`
+semantics (root post -> last receiver's application-level done).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro import constants
+
+__all__ = ["NetModel", "cepheus_jct", "binomial_jct", "chain_jct",
+           "rdmc_jct", "unicast_jct", "long_jct"]
+
+
+@dataclass(frozen=True)
+class NetModel:
+    """Fabric + host constants shared with the packet engine."""
+
+    bandwidth: float = constants.LINK_BANDWIDTH_BPS
+    hop_latency: float = constants.LINK_PROPAGATION_S
+    mtu: int = constants.MTU_BYTES
+    header: int = constants.HEADER_BYTES
+    stack_send: float = constants.HOST_STACK_SEND_S
+    stack_recv: float = constants.HOST_STACK_RECV_S
+    relay_extra: float = constants.HOST_STACK_RELAY_EXTRA_S
+    accel_delay: float = constants.ACCELERATOR_DELAY_S
+    hops: int = 2  # switch hops on a host-to-host path (2 = same rack)
+
+    @property
+    def goodput(self) -> float:
+        """Application-payload bandwidth after the per-packet header tax."""
+        return self.bandwidth * self.mtu / (self.mtu + self.header)
+
+    def wire(self, size: int) -> float:
+        """Serialization time of ``size`` payload bytes."""
+        return size * 8.0 / self.goodput
+
+    @property
+    def path(self) -> float:
+        """One-way propagation+switching latency of a host-to-host path."""
+        return self.hop_latency * (self.hops + 1)
+
+    @property
+    def relay(self) -> float:
+        """Intermediate-node turnaround cost."""
+        return self.stack_recv + self.stack_send + self.relay_extra
+
+
+def cepheus_jct(size: int, n: int, net: NetModel, mdt_depth: int = None) -> float:
+    """One message into the MDT; replication adds no serial cost.
+
+    ``mdt_depth`` is the switch depth of the distribution tree (defaults
+    to ``net.hops``); each accelerated switch adds its pipeline delay.
+    """
+    depth = net.hops if mdt_depth is None else mdt_depth
+    return (net.stack_send + net.wire(size)
+            + net.hop_latency * (depth + 1)
+            + net.accel_delay * depth
+            + net.stack_recv)
+
+
+def binomial_jct(size: int, n: int, net: NetModel) -> float:
+    """BT: ceil(log2 n) full-message rounds on the critical path."""
+    rounds = max(1, math.ceil(math.log2(n)))
+    per_hop = net.wire(size) + net.path
+    return (net.stack_send + rounds * per_hop
+            + (rounds - 1) * net.relay + net.stack_recv)
+
+
+def chain_jct(size: int, n: int, net: NetModel, slices: int = 4,
+              min_slice: int = 4096) -> float:
+    """Pipelined chain: (n-1) fill stages + (slices-1) drain stages.
+
+    Mirrors :class:`~repro.collectives.chain.ChainBcast`'s slicing rule:
+    at most ``slices`` pieces, none below ``min_slice`` bytes.
+    """
+    s = max(1, min(slices, size // min_slice, size))
+    slice_wire = net.wire(math.ceil(size / s))
+    stage = slice_wire + net.path + net.relay
+    # The first hop pays no relay; the last receiver sees the final
+    # slice after the pipeline fills ((n-1) stages) and drains (s-1).
+    return (net.stack_send + (n - 1) * stage + (s - 1) * slice_wire
+            - net.relay + net.stack_recv)
+
+
+def unicast_jct(size: int, n: int, net: NetModel) -> float:
+    """n-1 interleaved copies: the sender's NIC serializes them all."""
+    return (net.stack_send * (n - 1) + (n - 1) * net.wire(size)
+            + net.path + net.stack_recv)
+
+
+def rdmc_jct(size: int, n: int, net: NetModel,
+             block_size: int = 1 << 20,
+             step_overhead: float = 45e-6) -> float:
+    """Binomial pipeline: (d + B - 1) synchronized block steps."""
+    d = max(1, math.ceil(math.log2(n)))
+    blocks = max(1, math.ceil(size / block_size))
+    steps = d + blocks - 1
+    per_step = net.wire(math.ceil(size / blocks)) + net.path
+    # The barrier overhead is paid *between* steps, not after the last.
+    return (net.stack_send + steps * per_step
+            + (steps - 1) * step_overhead + net.stack_recv)
+
+
+def long_jct(size: int, n: int, net: NetModel,
+             pieces_per_node: int = 4) -> float:
+    """Spread-and-roll: root egress carries ~1.5x the message (scatter +
+    ring pass-through); the late pieces then roll around the ring, which
+    costs a per-hop relay chain plus a couple of piece serializations.
+
+    Accuracy note: this is the coarsest of the models (~±40 % against
+    the packet engine at small sizes); Fig. 12's analytic stitching only
+    uses the cepheus/bt/chain models, which validate to within a few
+    percent.
+    """
+    piece = net.wire(max(math.ceil(size / (n * pieces_per_node)), 1))
+    fill = 1.5 * net.wire(size) * (n - 1) / n
+    roll_tail = (n - 1) * (net.relay + net.path + piece)
+    return net.stack_send + fill + roll_tail + piece + net.stack_recv

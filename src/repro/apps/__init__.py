@@ -1,0 +1,16 @@
+"""Realistic applications from the paper's evaluation (§V-B) plus the
+cluster facade everything builds on."""
+
+from repro.apps.cluster import Cluster, HostStackModel
+from repro.apps.hpl import HplConfig, HplModel, HplResult
+from repro.apps.mpi import ALGORITHMS, Communicator
+from repro.apps.pubsub import Broker, PublishResult, Topic
+from repro.apps.storage import IopsResult, ReplicatedStore, StorageConfig
+
+__all__ = [
+    "Cluster", "HostStackModel",
+    "ALGORITHMS", "Communicator",
+    "IopsResult", "ReplicatedStore", "StorageConfig",
+    "HplConfig", "HplModel", "HplResult",
+    "Broker", "Topic", "PublishResult",
+]

@@ -1,0 +1,149 @@
+"""Cluster: topology + transports + (optionally) a Cepheus fabric.
+
+Every experiment starts from a :class:`Cluster`.  It bundles the
+simulator, a topology, one verbs context per host, the end-host stack
+cost model (the per-message software overhead that makes AMcast relays
+expensive, §II-C), and — unless disabled — a
+:class:`~repro.core.fabric.CepheusFabric` with accelerators on every
+switch.
+
+Pairwise RC connections for the AMcast baselines are created lazily and
+cached, so a 512-member Chain only ever materializes the 511 QP pairs
+it uses instead of a full mesh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro import constants
+from repro.core.accelerator import AcceleratorConfig
+from repro.core.fabric import CepheusFabric
+from repro.net.simulator import Simulator
+from repro.net.switch import SwitchConfig
+from repro.net.topology import Topology, dumbbell, fat_tree, star
+from repro.transport.roce import RoceConfig, RoceQP
+from repro.transport.verbs import VerbsContext
+
+__all__ = ["HostStackModel", "Cluster"]
+
+
+@dataclass(frozen=True)
+class HostStackModel:
+    """Per-message end-host software costs.
+
+    ``send`` is paid before a message's first packet leaves (verbs post
+    + MPI shim); ``recv`` after the last packet arrives before the
+    application (or a relay) sees the data.  These are the costs the
+    paper's §V-B1 analysis counts once for Cepheus and once *per hop*
+    for AMcast ("the data traversing the end-host stacks thrice").
+    """
+
+    send: float = constants.HOST_STACK_SEND_S
+    recv: float = constants.HOST_STACK_RECV_S
+    relay_extra: float = constants.HOST_STACK_RELAY_EXTRA_S
+
+    @property
+    def relay(self) -> float:
+        """Cost for an intermediate node to turn a receive into a send:
+        completion reap + progress-engine/matching + re-post."""
+        return self.recv + self.send + self.relay_extra
+
+
+class Cluster:
+    """One simulated deployment: hosts, switches, transports, fabric."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        *,
+        cepheus: bool = True,
+        accel_config: Optional[AcceleratorConfig] = None,
+        roce_config: Optional[RoceConfig] = None,
+        stack: Optional[HostStackModel] = None,
+    ) -> None:
+        self.topo = topo
+        self.sim: Simulator = topo.sim
+        self.roce_config = roce_config or RoceConfig()
+        self.stack = stack or HostStackModel()
+        self.fabric: Optional[CepheusFabric] = (
+            CepheusFabric(topo, accel_config) if cepheus else None
+        )
+        self.ctxs: Dict[int, VerbsContext] = {
+            ip: VerbsContext(self.sim, topo.nic(ip), self.roce_config)
+            for ip in topo.host_ips
+        }
+        self._pairs: Dict[Tuple[int, int], Tuple[RoceQP, RoceQP]] = {}
+
+    # -- factories -------------------------------------------------------------
+
+    @classmethod
+    def testbed(
+        cls,
+        n_hosts: int = 4,
+        *,
+        switch_config: Optional[SwitchConfig] = None,
+        **kwargs,
+    ) -> "Cluster":
+        """The paper's testbed shape: N servers on one switch (§IV)."""
+        sim = Simulator()
+        topo = star(sim, n_hosts, switch_config=switch_config)
+        return cls(topo, **kwargs)
+
+    @classmethod
+    def fat_tree_cluster(
+        cls,
+        k: int,
+        *,
+        hosts_limit: Optional[int] = None,
+        switch_config: Optional[SwitchConfig] = None,
+        **kwargs,
+    ) -> "Cluster":
+        """The §V-C simulation fabric (k=16 reproduces 1024 servers)."""
+        sim = Simulator()
+        topo = fat_tree(sim, k, switch_config=switch_config,
+                        hosts_limit=hosts_limit)
+        return cls(topo, **kwargs)
+
+    @classmethod
+    def dumbbell_cluster(cls, n_left: int, n_right: int, *,
+                         bottleneck: Optional[float] = None,
+                         switch_config: Optional[SwitchConfig] = None,
+                         **kwargs) -> "Cluster":
+        sim = Simulator()
+        topo = dumbbell(sim, n_left, n_right, bottleneck=bottleneck,
+                        switch_config=switch_config)
+        return cls(topo, **kwargs)
+
+    # -- accessors -----------------------------------------------------------------
+
+    @property
+    def host_ips(self):
+        return self.topo.host_ips
+
+    def ctx(self, ip: int) -> VerbsContext:
+        return self.ctxs[ip]
+
+    # -- pairwise RC connections for AMcast baselines --------------------------------
+
+    def qp_pair(self, a: int, b: int) -> Tuple[RoceQP, RoceQP]:
+        """A connected RC pair (QP at a -> b, QP at b -> a); cached."""
+        key = (a, b) if a < b else (b, a)
+        pair = self._pairs.get(key)
+        if pair is None:
+            qa = self.ctxs[key[0]].create_qp()
+            qb = self.ctxs[key[1]].create_qp()
+            qa.connect(key[1], qb.qpn)
+            qb.connect(key[0], qa.qpn)
+            pair = (qa, qb)
+            self._pairs[key] = pair
+        return pair if a < b else (pair[1], pair[0])
+
+    def qp_to(self, src: int, dst: int) -> RoceQP:
+        """The QP at ``src`` talking to ``dst``."""
+        return self.qp_pair(src, dst)[0]
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> int:
+        return self.sim.run(until=until, max_events=max_events)

@@ -1,0 +1,135 @@
+"""Command-line interface.
+
+Installed as the ``cepheus-repro`` console script::
+
+    cepheus-repro experiments --only fig8,tab1   # reproduce figures
+    cepheus-repro experiments --full             # paper-scale params
+    cepheus-repro demo                           # 60-second tour
+    cepheus-repro sweep --sizes 64,1048576 --groups 4,8 \
+                        --algorithms cepheus,chain
+    cepheus-repro info                           # model constants
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import constants
+
+__all__ = ["main"]
+
+
+def _cmd_experiments(args) -> int:
+    from repro.harness.runner import ALL_EXPERIMENTS, run_experiments
+
+    names = ([n.strip() for n in args.only.split(",") if n.strip()]
+             if args.only else list(ALL_EXPERIMENTS))
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; "
+              f"available: {sorted(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    run_experiments(names, quick=not args.full)
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from repro.apps import Cluster
+    from repro.collectives import (BinomialTreeBcast, CepheusBcast,
+                                   ChainBcast)
+    from repro.harness.report import fmt_size, fmt_time
+
+    size = args.size
+    print(f"1-to-3 broadcast of {fmt_size(size)} on a 100G testbed:\n")
+    rows = []
+    for cls, kw in ((CepheusBcast, {}), (ChainBcast, {"slices": 4}),
+                    (BinomialTreeBcast, {})):
+        cluster = Cluster.testbed(4)
+        algo = cls(cluster, cluster.host_ips, **kw)
+        rows.append((algo.name, algo.run(size).jct))
+    base = rows[0][1]
+    for name, jct in rows:
+        print(f"  {name:<16} {fmt_time(jct):>10}   {jct / base:5.2f}x")
+    print("\nThe in-network primitive sends each byte once; the overlays "
+          "re-send per hop.\nRun 'cepheus-repro experiments' for the full "
+          "paper reproduction.")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.harness.report import format_table
+    from repro.harness.sweeps import BcastSweep
+
+    sweep = BcastSweep(
+        sizes=[int(s) for s in args.sizes.split(",")],
+        group_sizes=[int(g) for g in args.groups.split(",")],
+        algorithms=[a.strip() for a in args.algorithms.split(",")],
+    )
+    print(format_table(sweep.run()))
+    return 0
+
+
+def _cmd_info(args) -> int:
+    print("Cepheus reproduction — model constants (repro/constants.py)\n")
+    entries = [
+        ("link bandwidth", f"{constants.LINK_BANDWIDTH_BPS / 1e9:.0f} Gbps"),
+        ("per-hop latency", f"{constants.LINK_PROPAGATION_S * 1e9:.0f} ns"),
+        ("RoCE MTU", f"{constants.MTU_BYTES} B"),
+        ("RC window", f"{constants.ROCE_MAX_OUTSTANDING_PKTS} packets"),
+        ("RTO", f"{constants.ROCE_RTO_S * 1e3:.1f} ms"),
+        ("ECN band", f"{constants.ECN_KMIN_BYTES // 1000}-"
+                     f"{constants.ECN_KMAX_BYTES // 1000} KB"),
+        ("PFC XOFF/XON", f"{constants.PFC_XOFF_BYTES // 1000}/"
+                         f"{constants.PFC_XON_BYTES // 1000} KB"),
+        ("accelerator delay", f"{constants.ACCELERATOR_DELAY_S * 1e9:.0f} ns"),
+        ("MFT per group (64p)", f"{constants.MFT_BYTES_PER_GROUP_64P} B"),
+        ("MRP records/packet", str(constants.MRP_NODES_PER_PACKET)),
+        ("fallback threshold", f"{constants.FALLBACK_GOODPUT_THRESHOLD:.0%}"),
+    ]
+    width = max(len(k) for k, _ in entries)
+    for key, value in entries:
+        print(f"  {key:<{width}}  {value}")
+    print("\nCalibration provenance: docs/CALIBRATION.md")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cepheus-repro",
+        description="Cepheus (HPCA 2024) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments",
+                           help="reproduce the paper's tables/figures")
+    p_exp.add_argument("--only", default="",
+                       help="comma-separated experiment ids")
+    p_exp.add_argument("--full", action="store_true",
+                       help="paper-scale parameters (slow)")
+    p_exp.set_defaults(fn=_cmd_experiments)
+
+    p_demo = sub.add_parser("demo", help="60-second broadcast comparison")
+    p_demo.add_argument("--size", type=int, default=16 << 20,
+                        help="message bytes (default 16 MiB)")
+    p_demo.set_defaults(fn=_cmd_demo)
+
+    p_sweep = sub.add_parser("sweep", help="custom broadcast sweep")
+    p_sweep.add_argument("--sizes", default="65536,1048576")
+    p_sweep.add_argument("--groups", default="4")
+    p_sweep.add_argument("--algorithms", default="cepheus,binomial,chain")
+    p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_info = sub.add_parser("info", help="print the model constants")
+    p_info.set_defaults(fn=_cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""Broadcast algorithms: the Cepheus primitive + every AMcast baseline
+the paper evaluates against (§II-C, §V)."""
+
+from repro.collectives.allreduce import AllReduce, AllReduceResult
+from repro.collectives.base import BroadcastAlgorithm, BroadcastResult
+from repro.collectives.binomial import BinomialTreeBcast, binomial_children
+from repro.collectives.cepheus_bcast import CepheusBcast
+from repro.collectives.chain import ChainBcast, IncreasingRingBcast
+from repro.collectives.long_algo import LongBcast
+from repro.collectives.mpi_ops import (Allgather, Alltoall, Barrier,
+                                       CollectiveResult, Gather, Scatter)
+from repro.collectives.rdmc import RdmcBcast
+from repro.collectives.reduce import (BinomialReduce, ReduceResult,
+                                      RingReduceScatter)
+from repro.collectives.unicast import MultiUnicastBcast
+
+__all__ = [
+    "AllReduce", "AllReduceResult",
+    "BroadcastAlgorithm", "BroadcastResult",
+    "BinomialReduce", "RingReduceScatter", "ReduceResult",
+    "BinomialTreeBcast", "binomial_children",
+    "CepheusBcast",
+    "ChainBcast", "IncreasingRingBcast",
+    "LongBcast",
+    "Scatter", "Gather", "Allgather", "Alltoall", "Barrier",
+    "CollectiveResult",
+    "RdmcBcast",
+    "MultiUnicastBcast",
+]

@@ -1,0 +1,90 @@
+"""Binomial Tree (BT) broadcast — the latency-oriented AMcast baseline.
+
+The classic MPI algorithm (§II-C, Fig. 1b): ``ceil(log2 N)`` recursive
+rounds; in round *k* every node holding the data forwards it to the
+rank ``2^k`` away.  Latency is logarithmic, which makes BT the small-
+message choice, but every internal node retransmits the *whole*
+message — for large messages the root alone pushes ``log2(N)`` copies,
+so bandwidth utilization falls far behind optimal (that is the gap
+Fig. 9/12 quantify).
+
+The implementation is asynchronous, as in MPICH/OpenMPI: a node relays
+to its binomial children back-to-back as soon as its own receive (plus
+the host-stack relay cost) completes; the next child's send is chained
+off the previous send's local completion.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.collectives.base import BroadcastAlgorithm, BroadcastResult
+
+__all__ = ["binomial_children", "BinomialTreeBcast"]
+
+
+def binomial_children(rank: int, n: int) -> List[int]:
+    """Children of ``rank`` in a binomial tree of ``n`` ranks (root 0).
+
+    Ordered chronologically (the round each edge fires in), i.e. the
+    order an async implementation posts the sends.
+
+    >>> binomial_children(0, 8)
+    [1, 2, 4]
+    >>> binomial_children(1, 8)
+    [3, 5]
+    >>> binomial_children(3, 8)
+    [7]
+    >>> binomial_children(6, 8)
+    []
+    """
+    if not 0 <= rank < n:
+        raise ValueError(f"rank {rank} out of range for n={n}")
+    start = 0 if rank == 0 else rank.bit_length()
+    children = []
+    j = start
+    while rank + (1 << j) < n:
+        children.append(rank + (1 << j))
+        j += 1
+    return children
+
+
+class BinomialTreeBcast(BroadcastAlgorithm):
+    """BT over pairwise RC connections."""
+
+    name = "binomial-tree"
+
+    def _setup(self) -> None:
+        for rank, ip in enumerate(self.ranks):
+            for child in binomial_children(rank, self.n):
+                self.cluster.qp_pair(ip, self.ranks[child])
+
+    def _launch(self, size: int, result: BroadcastResult) -> None:
+        sim = self.cluster.sim
+        stack = self.cluster.stack
+
+        def relay_from(rank: int, at_delay: float) -> None:
+            """Schedule this node's sends to its children, sequentially."""
+            ip = self.ranks[rank]
+            children = binomial_children(rank, self.n)
+
+            def send_child(idx: int) -> None:
+                if idx >= len(children):
+                    return
+                child_rank = children[idx]
+                child_ip = self.ranks[child_rank]
+                qp = self.cluster.qp_to(ip, child_ip)
+                peer = self.cluster.qp_to(child_ip, ip)
+
+                def delivered(mid: int, sz: int, now: float, meta) -> None:
+                    self._record_delivery(result, child_ip, now)
+                    relay_from(child_rank, stack.relay)
+
+                peer.on_message = delivered
+                # Chain the next child's post off this send's local
+                # completion (blocking-send semantics).
+                qp.post_send(size, on_sent=lambda mid, now: send_child(idx + 1))
+
+            sim.schedule(at_delay, send_child, 0)
+
+        relay_from(0, stack.send)

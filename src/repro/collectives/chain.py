@@ -1,0 +1,103 @@
+"""Chain (pipelined) broadcast — the throughput-oriented AMcast baseline.
+
+Nodes form a logical chain (§II-C, Fig. 1c); the message is cut into
+``slices`` pieces and every intermediate node relays each slice to its
+successor as soon as it lands, so all links stream concurrently once
+the pipeline fills.  Latency is linear in the chain length — fatal for
+small messages (Fig. 8) and for large groups (the 164x short-flow gap
+of Fig. 12) — and every slice pays the end-host stack at every hop,
+which is why practical deployments cap the slice count (the paper, like
+common practice, uses 4 slices = #hosts in §V-A).
+
+``IncreasingRingBcast`` is HPL's default Panel-Broadcast variant
+(``increasing-ring``): the same chain shape without slicing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.apps.cluster import Cluster
+from repro.collectives.base import BroadcastAlgorithm, BroadcastResult
+from repro.errors import ConfigurationError
+
+__all__ = ["ChainBcast", "IncreasingRingBcast"]
+
+
+class ChainBcast(BroadcastAlgorithm):
+    """Pipelined chain with a configurable slice count."""
+
+    name = "chain"
+
+    def __init__(self, cluster: Cluster, members: List[int],
+                 root: Optional[int] = None, *, slices: int = 4,
+                 min_slice: int = 4096) -> None:
+        """``slices`` follows the paper's convention (= #hosts in the
+        common configuration); ``min_slice`` stops small messages from
+        being shredded into per-byte fragments — no implementation
+        slices below a few KB because each slice costs a relay-stack
+        traversal at every hop."""
+        super().__init__(cluster, members, root)
+        if slices < 1:
+            raise ConfigurationError(f"slice count must be >= 1, got {slices}")
+        if min_slice < 1:
+            raise ConfigurationError(f"min_slice must be >= 1, got {min_slice}")
+        self.slices = slices
+        self.min_slice = min_slice
+
+    def _setup(self) -> None:
+        for i in range(self.n - 1):
+            self.cluster.qp_pair(self.ranks[i], self.ranks[i + 1])
+
+    def _slice_sizes(self, size: int) -> List[int]:
+        """Cut ``size`` into (at most) ``slices`` non-empty pieces of at
+        least ``min_slice`` bytes (single slice for small messages)."""
+        k = max(1, min(self.slices, size // self.min_slice, size))
+        base, rem = divmod(size, k)
+        return [base + (1 if i < rem else 0) for i in range(k)]
+
+    def _launch(self, size: int, result: BroadcastResult) -> None:
+        sim = self.cluster.sim
+        stack = self.cluster.stack
+        sizes = self._slice_sizes(size)
+        nslices = len(sizes)
+        received: Dict[int, int] = {ip: 0 for ip in self.ranks[1:]}
+
+        def forward(rank: int, slice_idx: int) -> None:
+            """Node ``rank`` posts slice ``slice_idx`` to its successor."""
+            ip, nxt = self.ranks[rank], self.ranks[rank + 1]
+            qp = self.cluster.qp_to(ip, nxt)
+            qp.post_send(sizes[slice_idx], meta=slice_idx)
+
+        def on_delivery(rank: int):
+            ip = self.ranks[rank]
+
+            def handler(mid: int, sz: int, now: float, meta) -> None:
+                received[ip] += 1
+                if received[ip] == nslices:
+                    self._record_delivery(result, ip, now)
+                if rank + 1 < self.n:
+                    # Intermediate node: pay the relay stack per slice.
+                    sim.schedule(stack.relay, forward, rank, meta)
+
+            return handler
+
+        for rank in range(1, self.n):
+            prev = self.ranks[rank - 1]
+            self.cluster.qp_to(self.ranks[rank], prev).on_message = on_delivery(rank)
+
+        def start_root() -> None:
+            for s in range(nslices):
+                forward(0, s)
+
+        sim.schedule(stack.send, start_root)
+
+
+class IncreasingRingBcast(ChainBcast):
+    """HPL's ``increasing-ring`` Panel Broadcast: an unsliced chain."""
+
+    name = "increasing-ring"
+
+    def __init__(self, cluster: Cluster, members: List[int],
+                 root: Optional[int] = None) -> None:
+        super().__init__(cluster, members, root, slices=1)

@@ -1,0 +1,327 @@
+"""The remaining MPI collectives (§VIII: "more collective communication
+primitives, such as many-to-one (e.g., MPI-Reduce) and many-to-many
+(e.g., MPI-Alltoall)").
+
+Host-level implementations of the standard algorithms, plus the
+Cepheus-accelerated variants where the communication is broadcast-
+shaped:
+
+* :class:`Scatter` — root sends distinct shards (sequential blocking
+  sends; distinct data cannot be multicast);
+* :class:`Gather` — everyone sends its shard to the root concurrently;
+* :class:`Allgather` — ring algorithm, or ``engine="cepheus"``:
+  N multicast rounds over **one** group whose source rotates per round
+  (§III-E source switching doing real work: no re-registration, ever);
+* :class:`Alltoall` — personalized pairwise exchange over an XOR
+  schedule (distinct data per pair: inherently unicast);
+* :class:`Barrier` — dissemination barrier, or ``engine="cepheus"``:
+  an in-network 1-byte reduce to the root followed by a 1-byte
+  multicast (two wire-times end-to-end).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.apps.cluster import Cluster
+from repro.errors import ConfigurationError
+
+__all__ = ["CollectiveResult", "Scatter", "Gather", "Allgather",
+           "Alltoall", "Barrier"]
+
+
+@dataclass
+class CollectiveResult:
+    """Timing of one collective operation."""
+
+    operation: str
+    engine: str
+    size: int            # per-rank payload bytes
+    duration: float
+    rounds: int = 0
+
+
+class _CollectiveBase:
+    """Shared member/rank bookkeeping."""
+
+    name = "abstract"
+
+    def __init__(self, cluster: Cluster, members: List[int],
+                 root: Optional[int] = None) -> None:
+        if len(members) < 2:
+            raise ConfigurationError(f"{self.name} needs at least 2 members")
+        self.cluster = cluster
+        self.root = members[0] if root is None else root
+        if self.root not in members:
+            raise ConfigurationError(f"root {self.root} not in members")
+        self.ranks = [self.root] + [m for m in members if m != self.root]
+
+    @property
+    def n(self) -> int:
+        return len(self.ranks)
+
+    def _drain(self) -> None:
+        self.cluster.sim.run()
+
+
+class Scatter(_CollectiveBase):
+    """Root distributes shard *i* to rank *i* (MPI_Scatter)."""
+
+    name = "scatter"
+
+    def run(self, shard_size: int) -> CollectiveResult:
+        sim = self.cluster.sim
+        stack = self.cluster.stack
+        t0 = sim.now
+        done = {"n": self.n - 1, "t": t0}
+
+        def landed(mid: int, sz: int, now: float, meta) -> None:
+            done["n"] -= 1
+            done["t"] = max(done["t"], now + stack.recv)
+
+        def post(idx: int) -> None:
+            if idx >= self.n:
+                return
+            ip = self.ranks[idx]
+            self.cluster.qp_to(ip, self.root).on_message = landed
+            self.cluster.qp_to(self.root, ip).post_send(
+                shard_size, on_sent=lambda mid, now: post(idx + 1))
+
+        sim.schedule(stack.send, post, 1)
+        self._drain()
+        if done["n"] != 0:
+            raise ConfigurationError("scatter stalled")
+        return CollectiveResult(self.name, "host", shard_size,
+                                done["t"] - t0, rounds=self.n - 1)
+
+
+class Gather(_CollectiveBase):
+    """Everyone ships its shard to the root (MPI_Gather)."""
+
+    name = "gather"
+
+    def run(self, shard_size: int) -> CollectiveResult:
+        sim = self.cluster.sim
+        stack = self.cluster.stack
+        t0 = sim.now
+        done = {"n": self.n - 1, "t": t0}
+
+        def landed(mid: int, sz: int, now: float, meta) -> None:
+            done["n"] -= 1
+            done["t"] = max(done["t"], now + stack.recv)
+
+        def start() -> None:
+            for ip in self.ranks[1:]:
+                self.cluster.qp_to(self.root, ip).on_message = landed
+                self.cluster.qp_to(ip, self.root).post_send(shard_size)
+
+        sim.schedule(stack.send, start)
+        self._drain()
+        if done["n"] != 0:
+            raise ConfigurationError("gather stalled")
+        return CollectiveResult(self.name, "host", shard_size,
+                                done["t"] - t0, rounds=1)
+
+
+class Allgather(_CollectiveBase):
+    """Every rank ends with every shard (MPI_Allgather).
+
+    ``engine="ring"``: the classic N-1 step ring.
+    ``engine="cepheus"``: N multicast rounds over one rotating-source
+    group — every round is one wire-time, so the whole allgather costs
+    ~N shard-times plus N source switches (which are free, §III-E).
+    """
+
+    name = "allgather"
+
+    def __init__(self, cluster: Cluster, members: List[int],
+                 engine: str = "ring") -> None:
+        super().__init__(cluster, members)
+        if engine not in ("ring", "cepheus"):
+            raise ConfigurationError(f"unknown allgather engine {engine!r}")
+        self.engine = engine
+        self._bcast = None
+        if engine == "cepheus":
+            from repro.collectives.cepheus_bcast import CepheusBcast
+            self._bcast = CepheusBcast(cluster, self.ranks, self.root)
+            self._bcast.prepare()
+
+    def run(self, shard_size: int) -> CollectiveResult:
+        if self.engine == "cepheus":
+            return self._run_cepheus(shard_size)
+        return self._run_ring(shard_size)
+
+    def _run_cepheus(self, shard_size: int) -> CollectiveResult:
+        sim = self.cluster.sim
+        t0 = sim.now
+        for ip in self.ranks:
+            self._bcast.set_source(ip)
+            self._bcast.run(shard_size)
+        return CollectiveResult(self.name, "cepheus", shard_size,
+                                sim.now - t0, rounds=self.n)
+
+    def _run_ring(self, shard_size: int) -> CollectiveResult:
+        sim = self.cluster.sim
+        stack = self.cluster.stack
+        n = self.n
+        t0 = sim.now
+        remaining = {"n": n * (n - 1), "t": t0}
+
+        def forward(rank: int, shard: int, hops: int) -> None:
+            nxt = (rank + 1) % n
+            self.cluster.qp_to(self.ranks[rank], self.ranks[nxt]).post_send(
+                shard_size, meta=(shard, hops + 1))
+
+        def on_piece(rank: int):
+            def handler(mid: int, sz: int, now: float, meta) -> None:
+                shard, hops = meta
+                remaining["n"] -= 1
+                remaining["t"] = max(remaining["t"], now + stack.recv)
+                if hops < n - 1:
+                    sim.schedule(stack.relay, forward, rank, shard, hops)
+            return handler
+
+        for rank in range(n):
+            prev = self.ranks[(rank - 1) % n]
+            self.cluster.qp_to(self.ranks[rank], prev).on_message = \
+                on_piece(rank)
+
+        def start() -> None:
+            for rank in range(n):
+                forward(rank, rank, 0)
+
+        sim.schedule(stack.send, start)
+        self._drain()
+        if remaining["n"] != 0:
+            raise ConfigurationError("allgather stalled")
+        return CollectiveResult(self.name, "ring", shard_size,
+                                remaining["t"] - t0, rounds=n - 1)
+
+
+class Alltoall(_CollectiveBase):
+    """Personalized exchange: rank i sends a distinct shard to every j.
+
+    XOR pairwise schedule (n rounds for power-of-two groups, n rounds
+    with idle slots otherwise); inherently unicast — the §VIII item the
+    paper leaves fully open.
+    """
+
+    name = "alltoall"
+
+    def run(self, shard_size: int) -> CollectiveResult:
+        sim = self.cluster.sim
+        stack = self.cluster.stack
+        n = self.n
+        t0 = sim.now
+        # round-robin over XOR partners; total messages n*(n-1)
+        rounds = 1
+        while rounds < n:
+            rounds <<= 1  # next power of two
+        state = {"pending": 0, "round": 0, "t": t0}
+
+        def run_round() -> None:
+            r = state["round"]
+            if r >= rounds:
+                return
+            state["round"] += 1
+            pairs = []
+            for i in range(n):
+                j = i ^ r
+                if j < n and j != i:
+                    pairs.append((i, j))
+            if not pairs:
+                sim.schedule(0.0, run_round)
+                return
+            state["pending"] = len(pairs)
+            for i, j in pairs:
+                src, dst = self.ranks[i], self.ranks[j]
+
+                def landed(mid, sz, now, meta) -> None:
+                    state["pending"] -= 1
+                    state["t"] = max(state["t"], now + stack.recv)
+                    if state["pending"] == 0:
+                        sim.schedule(stack.relay, run_round)
+
+                self.cluster.qp_to(dst, src).on_message = landed
+                self.cluster.qp_to(src, dst).post_send(shard_size)
+
+        sim.schedule(stack.send, run_round)
+        self._drain()
+        if state["round"] < rounds or state["pending"] != 0:
+            raise ConfigurationError("alltoall stalled")
+        return CollectiveResult(self.name, "host", shard_size,
+                                state["t"] - t0, rounds=rounds - 1)
+
+
+class Barrier(_CollectiveBase):
+    """Synchronize all members.
+
+    ``engine="dissemination"``: ceil(log2 n) rounds of 1-byte exchanges.
+    ``engine="cepheus"``: in-network 1-byte reduce to the root, then a
+    1-byte multicast — two wire-times regardless of group size.
+    """
+
+    name = "barrier"
+
+    def __init__(self, cluster: Cluster, members: List[int],
+                 engine: str = "dissemination") -> None:
+        super().__init__(cluster, members)
+        if engine not in ("dissemination", "cepheus"):
+            raise ConfigurationError(f"unknown barrier engine {engine!r}")
+        self.engine = engine
+        self._reduce = None
+        self._bcast = None
+        if engine == "cepheus":
+            from repro.collectives.cepheus_bcast import CepheusBcast
+            from repro.ext.inreduce import InNetworkReduce
+            self._reduce = InNetworkReduce(cluster, self.ranks, self.root)
+            self._reduce.prepare()
+            self._bcast = CepheusBcast(cluster, self.ranks, self.root)
+            self._bcast.prepare()
+
+    def run(self) -> CollectiveResult:
+        if self.engine == "cepheus":
+            sim = self.cluster.sim
+            t0 = sim.now
+            self._reduce.run(1)   # everyone checked in
+            self._bcast.run(1)    # everyone released
+            return CollectiveResult(self.name, "cepheus", 1,
+                                    sim.now - t0, rounds=2)
+        return self._run_dissemination()
+
+    def _run_dissemination(self) -> CollectiveResult:
+        sim = self.cluster.sim
+        stack = self.cluster.stack
+        n = self.n
+        t0 = sim.now
+        rounds = max(1, (n - 1).bit_length())
+        got: Dict[int, int] = {r: 0 for r in range(n)}
+        state = {"round": 0, "pending": 0, "t": t0}
+
+        def run_round() -> None:
+            r = state["round"]
+            if r >= rounds:
+                return
+            state["round"] += 1
+            dist = 1 << r
+            state["pending"] = n
+            for i in range(n):
+                j = (i + dist) % n
+                src, dst = self.ranks[i], self.ranks[j]
+
+                def landed(mid, sz, now, meta, _j=j) -> None:
+                    state["pending"] -= 1
+                    state["t"] = max(state["t"], now + stack.recv)
+                    if state["pending"] == 0:
+                        sim.schedule(stack.relay, run_round)
+
+                self.cluster.qp_to(dst, src).on_message = landed
+                self.cluster.qp_to(src, dst).post_send(1)
+
+        sim.schedule(stack.send, run_round)
+        self._drain()
+        if state["round"] < rounds or state["pending"] != 0:
+            raise ConfigurationError("barrier stalled")
+        return CollectiveResult(self.name, "dissemination", 1,
+                                state["t"] - t0, rounds=rounds)

@@ -1,0 +1,206 @@
+"""Many-to-one reduction (the paper's stated future work, §VIII).
+
+The paper closes with: "we plan to extend Cepheus for more collective
+communication primitives, such as many-to-one (e.g., MPI-Reduce)".
+This module provides the host-side reduction half that composes with
+the Cepheus broadcast:
+
+* :class:`BinomialReduce` — the mirror image of the binomial broadcast:
+  partial sums combine pairwise up a binomial tree in ceil(log2 N)
+  rounds.  Each combining step pays a per-byte compute cost (vector
+  addition is memory-bound), which is the realistic limiter for large
+  gradients.
+* :class:`RingReduceScatter` — each rank ends with the fully-reduced
+  1/N-th shard of the vector after N-1 pipelined steps; the classic
+  bandwidth-optimal first half of ring allreduce.
+
+:class:`repro.collectives.allreduce.AllReduce` composes these with a
+broadcast/allgather phase; the Cepheus-accelerated composition is the
+Parameter-Server pattern from the paper's introduction (gradients
+aggregate toward the PS, the update is *multicast* back out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.apps.cluster import Cluster
+from repro.collectives.binomial import binomial_children
+from repro.errors import ConfigurationError
+
+__all__ = ["ReduceResult", "BinomialReduce", "RingReduceScatter",
+           "REDUCE_COMPUTE_BPS"]
+
+#: Combining rate for the elementwise reduction (memory-bound vector
+#: add: read two operands + write one at ~50 GB/s effective).
+REDUCE_COMPUTE_BPS: float = 50e9 * 8
+
+
+@dataclass
+class ReduceResult:
+    """Outcome of one reduction."""
+
+    algorithm: str
+    root: int
+    size: int
+    start: float
+    done: Optional[float] = None
+    combines: int = 0
+
+    @property
+    def duration(self) -> float:
+        if self.done is None:
+            raise ConfigurationError("reduction never completed")
+        return self.done - self.start
+
+
+class _ReduceBase:
+    """Common plumbing for host-level reductions."""
+
+    name = "abstract-reduce"
+
+    def __init__(self, cluster: Cluster, members: List[int],
+                 root: Optional[int] = None) -> None:
+        if len(members) < 2:
+            raise ConfigurationError("reduce needs at least 2 members")
+        self.cluster = cluster
+        self.root = members[0] if root is None else root
+        if self.root not in members:
+            raise ConfigurationError(f"root {self.root} not in members")
+        self.ranks = [self.root] + [m for m in members if m != self.root]
+        self._prepared = False
+
+    def prepare(self) -> None:
+        if not self._prepared:
+            self._setup()
+            self._prepared = True
+
+    def run(self, size: int) -> ReduceResult:
+        self.prepare()
+        sim = self.cluster.sim
+        result = ReduceResult(self.name, self.root, size, start=sim.now)
+        self._launch(size, result)
+        sim.run()
+        if result.done is None:
+            raise ConfigurationError(f"{self.name}: reduction stalled")
+        return result
+
+    def _combine_delay(self, nbytes: int) -> float:
+        return nbytes * 8.0 / REDUCE_COMPUTE_BPS
+
+    def _setup(self) -> None:
+        raise NotImplementedError
+
+    def _launch(self, size: int, result: ReduceResult) -> None:
+        raise NotImplementedError
+
+
+class BinomialReduce(_ReduceBase):
+    """Pairwise combining up the binomial tree (MPI_Reduce default)."""
+
+    name = "binomial-reduce"
+
+    def _setup(self) -> None:
+        for rank, ip in enumerate(self.ranks):
+            for child in binomial_children(rank, len(self.ranks)):
+                self.cluster.qp_pair(ip, self.ranks[child])
+
+    def _launch(self, size: int, result: ReduceResult) -> None:
+        sim = self.cluster.sim
+        stack = self.cluster.stack
+        n = len(self.ranks)
+        # Each parent waits for all of its children's partial vectors,
+        # combining as they arrive; leaves send immediately.
+        pending: Dict[int, int] = {
+            r: len(binomial_children(r, n)) for r in range(n)
+        }
+
+        def send_up(rank: int) -> None:
+            if rank == 0:
+                result.done = sim.now + stack.recv
+                return
+            parent = rank - (1 << (rank.bit_length() - 1))
+            ip, pip = self.ranks[rank], self.ranks[parent]
+            sim.schedule(stack.send,
+                         self.cluster.qp_to(ip, pip).post_send, size)
+
+        def on_partial(rank: int):
+            def handler(mid: int, sz: int, now: float, meta) -> None:
+                result.combines += 1
+                delay = stack.recv + self._combine_delay(sz)
+
+                def combined() -> None:
+                    pending[rank] -= 1
+                    if pending[rank] == 0:
+                        send_up(rank)
+
+                sim.schedule(delay, combined)
+            return handler
+
+        for rank in range(n):
+            for child in binomial_children(rank, n):
+                self.cluster.qp_to(
+                    self.ranks[rank], self.ranks[child]
+                ).on_message = on_partial(rank)
+            if pending[rank] == 0:
+                send_up(rank)
+
+
+class RingReduceScatter(_ReduceBase):
+    """Pipelined ring reduce-scatter: after N-1 steps, rank i holds the
+    fully-reduced shard i.  Completion = every shard reduced."""
+
+    name = "ring-reduce-scatter"
+
+    def _setup(self) -> None:
+        n = len(self.ranks)
+        for i in range(n):
+            self.cluster.qp_pair(self.ranks[i], self.ranks[(i + 1) % n])
+
+    def _shards(self, size: int) -> List[int]:
+        n = min(len(self.ranks), size)
+        base, rem = divmod(size, n)
+        return [base + (1 if i < rem else 0) for i in range(n)]
+
+    def _launch(self, size: int, result: ReduceResult) -> None:
+        sim = self.cluster.sim
+        stack = self.cluster.stack
+        n = len(self.ranks)
+        shards = self._shards(size)
+        nshards = len(shards)
+        remaining = {"n": nshards}
+
+        def forward(rank: int, shard: int, hops: int) -> None:
+            nxt = (rank + 1) % n
+            self.cluster.qp_to(self.ranks[rank], self.ranks[nxt]).post_send(
+                shards[shard], meta=(shard, hops + 1))
+
+        def on_piece(rank: int):
+            def handler(mid: int, sz: int, now: float, meta) -> None:
+                shard, hops = meta
+                result.combines += 1
+                delay = stack.recv + self._combine_delay(sz) + stack.send
+                if hops >= n - 1:
+                    remaining["n"] -= 1
+                    if remaining["n"] == 0:
+                        result.done = now + stack.recv + \
+                            self._combine_delay(sz)
+                    return
+                sim.schedule(delay, forward, rank, shard, hops)
+            return handler
+
+        for rank in range(n):
+            prev = self.ranks[(rank - 1) % n]
+            self.cluster.qp_to(self.ranks[rank], prev).on_message = \
+                on_piece(rank)
+
+        def start() -> None:
+            # In step 0, rank i injects shard (i+1) mod nshards toward
+            # its successor; shard s then travels n-1 hops, combining at
+            # every stop, and finishes at rank s.
+            for rank in range(n):
+                shard = (rank + 1) % nshards
+                forward(rank, shard, 0)
+
+        sim.schedule(stack.send, start)

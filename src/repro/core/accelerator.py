@@ -1,0 +1,370 @@
+"""The Cepheus on-switch accelerator (§III, §IV).
+
+In the paper this is an FPGA board hanging off a commodity switch; ACL
+rules steer multicast traffic through it.  Here it is an object attached
+to a simulated :class:`~repro.net.switch.Switch` whose
+:meth:`classify` implements the ACL and whose :meth:`process`
+implements the Fig. 7a pipeline:
+
+* **MRP packets** build the local MFT and fan sub-MRPs out downstream
+  (reuse-a-tree-port first, then least-loaded port selection, §III-C);
+* **multicast DATA** is replicated along the MDT with ingress pruning,
+  filtered against per-path AckPSNs (retransmission filtering), and
+  *connection-bridged* at host-facing entries — dstIP/dstQP (and RETH
+  vaddr/rkey for WRITE) rewritten to the receiver's real values, srcIP
+  rewritten to the McstID so the receiver's feedback indexes the MFT;
+* **feedback** is aggregated/filtered by the
+  :class:`~repro.core.feedback.FeedbackEngine` and the resulting single
+  stream is emitted toward the current source (AckOutPort), with the
+  final header rewrite at the source's leaf.
+
+Source switching (§III-E) is detected here too: data arriving on a new
+ingress port re-points AckOutPort and resets the trigger port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro import constants
+from repro.core.feedback import FeedbackConfig, FeedbackEngine
+from repro.core.mft import Mft, MftTable, PathEntry
+from repro.core.mrp import MrpError, MrpPayload
+from repro.errors import RegistrationError
+from repro.net.packet import Packet, PacketType, is_multicast_ip
+from repro.net.switch import Switch
+
+__all__ = ["AcceleratorConfig", "CepheusAccelerator"]
+
+
+@dataclass
+class AcceleratorConfig:
+    """Feature switches (retransmission filtering is ablatable), the
+    BRAM capacity model, and the deployment style.
+
+    ``deployment`` models §IV's two integration options:
+
+    * ``"inline"`` — the proposed ASIC integration: multicast processing
+      sits in the switch pipeline; only the fixed per-packet
+      ``ACCELERATOR_DELAY_S`` applies (the default used everywhere).
+    * ``"lookaside"`` — the FPGA prototype: traffic detours
+      switch -> FPGA -> switch over ``lookaside_ports`` dedicated 100G
+      links, so multicast throughput is bounded by the board's
+      transceiver capacity (the §VI scalability limit) and each packet
+      pays two extra link traversals.
+    """
+
+    retransmit_filter: bool = True
+    max_groups: Optional[int] = None
+    feedback: Optional[FeedbackConfig] = None
+    deployment: str = "inline"
+    lookaside_ports: int = 4
+    lookaside_port_bw: float = constants.LINK_BANDWIDTH_BPS
+
+
+class CepheusAccelerator:
+    """One accelerator instance bolted onto one switch."""
+
+    def __init__(self, switch: Switch, config: Optional[AcceleratorConfig] = None) -> None:
+        self.switch = switch
+        self.cfg = config or AcceleratorConfig()
+        if self.cfg.deployment not in ("inline", "lookaside"):
+            raise RegistrationError(
+                f"unknown deployment {self.cfg.deployment!r}")
+        self.table = MftTable(switch.n_ports, self.cfg.max_groups)
+        self.feedback = FeedbackEngine(self.cfg.feedback)
+        # group-level load per port, for the least-loaded MDT port choice
+        self.port_group_load: Dict[int, int] = {}
+        # look-aside detour: the FPGA's aggregate transceiver capacity
+        # gates when each packet can *enter* the board.
+        self._lookaside_bps = (self.cfg.lookaside_ports
+                               * self.cfg.lookaside_port_bw)
+        self._lookaside_free_at = 0.0
+        self.lookaside_detours = 0
+        # instrumentation
+        self.data_in = 0
+        self.replicas_out = 0
+        self.retransmits_filtered = 0
+        self.unregistered_drops = 0
+        self.source_switches_seen = 0
+        switch.accelerator = self
+
+    # ------------------------------------------------------------------
+    # ACL classification (what gets redirected to the FPGA)
+    # ------------------------------------------------------------------
+
+    def classify(self, pkt: Packet) -> bool:
+        if pkt.ptype == PacketType.MRP:
+            return True
+        return is_multicast_ip(pkt.dst_ip) and (
+            pkt.ptype == PacketType.DATA or pkt.is_feedback
+        )
+
+    # ------------------------------------------------------------------
+    # main pipeline
+    # ------------------------------------------------------------------
+
+    def process(self, pkt: Packet, in_port: int) -> None:
+        if self.cfg.deployment == "lookaside":
+            self.lookaside_detours += 1
+            self.switch.sim.schedule(
+                self._detour_delay(pkt), self._pipeline, pkt, in_port)
+        else:
+            self._pipeline(pkt, in_port)
+
+    def _detour_delay(self, pkt: Packet) -> float:
+        """Switch -> FPGA -> switch detour cost of the look-aside
+        prototype: admission gated by the board's aggregate transceiver
+        capacity, plus one link serialization and two propagations."""
+        sim = self.switch.sim
+        bits = pkt.wire_size * 8.0
+        start = max(sim.now, self._lookaside_free_at)
+        self._lookaside_free_at = start + bits / self._lookaside_bps
+        ready = (self._lookaside_free_at
+                 + bits / self.cfg.lookaside_port_bw
+                 + 2 * constants.LINK_PROPAGATION_S)
+        return ready - sim.now
+
+    def _pipeline(self, pkt: Packet, in_port: int) -> None:
+        t = pkt.ptype
+        if t == PacketType.MRP:
+            self._process_mrp(pkt, in_port)
+        elif t == PacketType.DATA:
+            self._process_data(pkt, in_port)
+        else:
+            self._process_feedback(pkt, in_port)
+
+    # ------------------------------------------------------------------
+    # MRP: local MFT construction + downstream fan-out (§III-C)
+    # ------------------------------------------------------------------
+
+    def _process_mrp(self, pkt: Packet, in_port: int) -> None:
+        payload: MrpPayload = pkt.mrp
+        try:
+            mft = self.table.get_or_create(payload.mcst_id)
+        except RegistrationError as exc:
+            self._notify_registration_error(payload, str(exc))
+            return
+        if mft.ack_out_port is None:
+            # Default upstream is where the registration came from (the
+            # leader's side); data-plane traffic re-points it if the
+            # source is elsewhere.
+            mft.ack_out_port = in_port
+        # The MDT is an undirected tree: the ingress side is a tree port
+        # too (feedback leaves through it; data arrives on it).
+        if not mft.has_port(in_port):
+            mft.add_entry(PathEntry(port=in_port, is_host=False))
+
+        downstream: Dict[int, List] = {}
+        for node in payload.nodes:
+            port = self._select_port(mft, node.ip)
+            if self.switch.is_host_port(port):
+                mft.add_entry(PathEntry(
+                    port=port, is_host=True, dst_ip=node.ip, dst_qp=node.qpn,
+                    vaddr=node.vaddr, rkey=node.rkey,
+                ))
+            else:
+                mft.add_entry(PathEntry(port=port, is_host=False))
+            downstream.setdefault(port, []).append(node)
+
+        for port, nodes in downstream.items():
+            if port == in_port:
+                # The node sits behind the ingress (the leader itself at
+                # its leaf); the upstream side already knows about it.
+                continue
+            sub = MrpPayload(
+                mcst_id=payload.mcst_id, seq=payload.seq, total=payload.total,
+                controller_ip=payload.controller_ip, nodes=nodes,
+            )
+            out = Packet(
+                PacketType.MRP, pkt.src_ip, payload.mcst_id,
+                payload=sub.wire_bytes(), mrp=sub,
+                created_at=self.switch.sim.now,
+            )
+            self.switch.emit(out, port, in_port)
+
+    def _select_port(self, mft: Mft, node_ip: int) -> int:
+        """Paper's two rules: reuse an existing MDT port to delay
+        replication; otherwise pick the least group-loaded candidate."""
+        direct = self._direct_host_port(node_ip)
+        if direct is not None:
+            return direct
+        candidates = self.switch.route_ports(node_ip)
+        for p in candidates:
+            if mft.has_port(p):
+                return p
+        best = min(candidates, key=lambda p: (self.port_group_load.get(p, 0), p))
+        self.port_group_load[best] = self.port_group_load.get(best, 0) + 1
+        return best
+
+    def _direct_host_port(self, ip: int) -> Optional[int]:
+        ports = self.switch.fib.get(ip)
+        if ports and len(ports) == 1 and self.switch.is_host_port(ports[0]):
+            return ports[0]
+        return None
+
+    def _notify_registration_error(self, payload: MrpPayload, reason: str) -> None:
+        err = MrpError(mcst_id=payload.mcst_id, reason=reason,
+                       switch_name=self.switch.name)
+        pkt = Packet(PacketType.CTRL, 0, payload.controller_ip,
+                     payload=32, meta=err, created_at=self.switch.sim.now)
+        self.switch.emit(pkt, self.switch.route_lookup(pkt), -1)
+
+    # ------------------------------------------------------------------
+    # DATA: replication + connection bridging (§III-B)
+    # ------------------------------------------------------------------
+
+    def _process_data(self, pkt: Packet, in_port: int) -> None:
+        mft = self.table.get(pkt.dst_ip)
+        if mft is None:
+            self.unregistered_drops += 1
+            return
+        self.data_in += 1
+        if mft.mode == "reduce":
+            self._process_reduce_data(mft, pkt, in_port)
+            return
+        self._track_source(mft, pkt, in_port)
+
+        targets: List[PathEntry] = []
+        for e in mft.iter_downstream(in_port):
+            if self.cfg.retransmit_filter and pkt.psn <= e.ack_psn:
+                # This subtree already acknowledged the PSN: suppress the
+                # duplicate (saves bandwidth, §III-D).
+                self.retransmits_filtered += 1
+                continue
+            targets.append(e)
+        last = len(targets) - 1
+        for i, e in enumerate(targets):
+            replica = pkt if i == last else pkt.clone()
+            if e.is_host:
+                self._bridge(replica, e, mft.mcst_id)
+            self.switch.emit(replica, e.port, in_port)
+            self.replicas_out += 1
+
+    def _track_source(self, mft: Mft, pkt: Packet, in_port: int) -> None:
+        if mft.ack_out_port != in_port:
+            # Multicast source switching (§III-E): the data now enters
+            # from a different tree port; feedback must flow there.
+            mft.ack_out_port = in_port
+            mft.tri_port = None
+            self.source_switches_seen += 1
+        if self.switch.is_host_port(in_port):
+            # We are the source's leaf: remember its identity for the
+            # final feedback header rewrite.
+            mft.src_ip = pkt.src_ip
+            mft.src_qp = pkt.src_qp
+
+    @staticmethod
+    def _bridge(pkt: Packet, entry: PathEntry, mcst_id: int) -> None:
+        """Connection bridging (Fig. 4): make the replica look like a
+        packet of the receiver's own one-to-one connection."""
+        pkt.dst_ip = entry.dst_ip
+        pkt.dst_qp = entry.dst_qp
+        pkt.src_ip = mcst_id
+        if entry.rkey:
+            # Multicast WRITE: the sender posts region-relative offsets;
+            # the leaf adds the receiver's MR base and swaps the rkey.
+            pkt.vaddr = entry.vaddr + pkt.vaddr
+            pkt.rkey = entry.rkey
+
+    # ------------------------------------------------------------------
+    # experimental many-to-one reduction (§VIII future work)
+    # ------------------------------------------------------------------
+    #
+    # Reduce mode is the exact dual of the broadcast data plane: member
+    # contributions *combine* on the way up the MDT (one slot per PSN,
+    # released when every downstream tree port has contributed), and the
+    # root's feedback (ACK/NACK/CNP) *replicates* down the tree with
+    # connection bridging, so every member's unmodified RNIC sees its
+    # own unicast-like feedback stream.  Collective semantics make this
+    # sound: every member posts the same sizes in the same order, so the
+    # same PSN refers to the same vector chunk everywhere; a root NACK
+    # rewinds all members together, refilling the slots coherently.
+
+    def _process_reduce_data(self, mft: Mft, pkt: Packet, in_port: int) -> None:
+        expected = {
+            e.port for e in mft.path_table if e.port != mft.ack_out_port
+        }
+        if in_port not in expected:
+            return  # stray (e.g. the root itself sending in reduce mode)
+        slot = mft.reduce_slots.setdefault(pkt.psn, set())
+        slot.add(in_port)
+        if slot < expected:
+            return
+        del mft.reduce_slots[pkt.psn]
+        combined = pkt.clone()
+        combined.src_ip = mft.mcst_id
+        out_port = mft.ack_out_port
+        if out_port is None:
+            return
+        entry = mft.entry(out_port)
+        if entry is not None and entry.is_host:
+            # The root's leaf: bridge the combined stream onto the
+            # root's own connection (its info is in the MFT — every
+            # member registers, the root included).
+            combined.dst_ip = entry.dst_ip
+            combined.dst_qp = entry.dst_qp
+        else:
+            combined.dst_ip = mft.mcst_id
+        self.switch.emit(combined, out_port, in_port)
+        self.replicas_out += 1
+
+    def _replicate_feedback_down(self, mft: Mft, pkt: Packet,
+                                 in_port: int) -> None:
+        """Reduce mode: the root's ACK/NACK/CNP fans out to all members."""
+        for e in mft.iter_downstream(in_port):
+            rep = pkt.clone()
+            if e.is_host:
+                rep.dst_ip = e.dst_ip
+                rep.dst_qp = e.dst_qp
+                rep.src_ip = mft.mcst_id
+            else:
+                rep.dst_ip = mft.mcst_id
+            self.switch.emit(rep, e.port, in_port)
+
+    # ------------------------------------------------------------------
+    # feedback: aggregate/filter, then forward toward the source (§III-D)
+    # ------------------------------------------------------------------
+
+    def _process_feedback(self, pkt: Packet, in_port: int) -> None:
+        mft = self.table.get(pkt.dst_ip)
+        if mft is None:
+            self.unregistered_drops += 1
+            return
+        if mft.mode == "reduce":
+            self._replicate_feedback_down(mft, pkt, in_port)
+            return
+        t = pkt.ptype
+        if t == PacketType.ACK:
+            emits = self.feedback.on_ack(mft, in_port, pkt.psn)
+        elif t == PacketType.NACK:
+            emits = self.feedback.on_nack(mft, in_port, pkt.psn)
+        else:
+            emits = self.feedback.on_cnp(mft, in_port, self.switch.sim.now)
+        out_port = mft.ack_out_port
+        if out_port is None:
+            return
+        for ptype, psn in emits:
+            fb = Packet(
+                ptype, mft.mcst_id, mft.mcst_id,
+                psn=psn, created_at=self.switch.sim.now,
+            )
+            if self.switch.is_host_port(out_port):
+                # Source leaf: the final rewrite so the sender RNIC's QP
+                # demux accepts the stream as its own connection's.
+                if mft.src_ip is None:
+                    continue  # no data observed yet; nothing to rewrite to
+                fb.dst_ip = mft.src_ip
+                fb.dst_qp = mft.src_qp
+            self.switch.emit(fb, out_port, in_port)
+
+    # ------------------------------------------------------------------
+    # introspection for tests/benches
+    # ------------------------------------------------------------------
+
+    def mft_of(self, mcst_id: int) -> Optional[Mft]:
+        return self.table.get(mcst_id)
+
+    def memory_bytes(self) -> int:
+        return self.table.total_memory_bytes()

@@ -1,0 +1,169 @@
+"""CepheusFabric: wiring the accelerator + control plane onto a topology.
+
+One :class:`CepheusFabric` per experiment: it bolts a
+:class:`~repro.core.accelerator.CepheusAccelerator` onto every switch,
+installs a :class:`~repro.core.mrp.HostControlAgent` on every host NIC,
+allocates McstIDs, and drives MFT registration for groups.
+
+This is the deployment story of §IV condensed: in the paper each rack's
+switch gets an FPGA sidecar; here every simulated switch gets its
+accelerator object (an ``accelerated`` predicate allows partial
+deployments for tests).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.core.accelerator import AcceleratorConfig, CepheusAccelerator
+from repro.core.group import McstIdAllocator, MemberRecord, MulticastGroup
+from repro.core.mrp import HostControlAgent, MrpController
+from repro.errors import GroupError, RegistrationError
+from repro.net.switch import Switch
+from repro.net.topology import Topology
+from repro.transport.roce import RoceQP
+
+__all__ = ["CepheusFabric"]
+
+
+class CepheusFabric:
+    """Accelerated fabric + control plane for one topology."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        accel_config: Optional[AcceleratorConfig] = None,
+        accelerated: Optional[Callable[[Switch], bool]] = None,
+    ) -> None:
+        self.topo = topo
+        self.sim = topo.sim
+        self.accel_config = accel_config or AcceleratorConfig()
+        self.accelerators: Dict[str, CepheusAccelerator] = {}
+        for sw in topo.switches:
+            if accelerated is None or accelerated(sw):
+                self.accelerators[sw.name] = CepheusAccelerator(sw, self.accel_config)
+        self.agents: Dict[int, HostControlAgent] = {
+            ip: HostControlAgent(topo.nic(ip)) for ip in topo.host_ips
+        }
+        self.alloc = McstIdAllocator()
+        self.groups: Dict[int, MulticastGroup] = {}
+
+    # -- group lifecycle ------------------------------------------------------
+
+    def create_group(
+        self,
+        members: Dict[int, RoceQP],
+        leader_ip: Optional[int] = None,
+        mr_info: Optional[Dict[int, "tuple[int, int]"]] = None,
+    ) -> MulticastGroup:
+        """Allocate a McstID and virtual-connect every member QP."""
+        group = MulticastGroup(self.alloc.allocate(), members, leader_ip, mr_info)
+        group.connect_virtual()
+        self.groups[group.mcst_id] = group
+        return group
+
+    def register(
+        self,
+        group: MulticastGroup,
+        *,
+        on_success: Optional[Callable[[], None]] = None,
+        on_failure: Optional[Callable[[str], None]] = None,
+        timeout: float = 10e-3,
+        allow_partial: bool = False,
+    ) -> MrpController:
+        """Start asynchronous MRP registration for ``group``."""
+        leader_nic = self.topo.nic(group.leader_ip)
+        ctl = MrpController(
+            self.sim, group, leader_nic,
+            on_success=on_success, on_failure=on_failure, timeout=timeout,
+            allow_partial=allow_partial,
+        )
+        self.agents[group.leader_ip].attach_controller(ctl)
+        ctl.start()
+        return ctl
+
+    def register_sync(self, group: MulticastGroup, timeout: float = 10e-3) -> None:
+        """Run the simulator until registration completes; raises on failure.
+
+        Convenience for tests/examples that set up a group before the
+        measured phase starts.
+        """
+        result: Dict[str, Optional[str]] = {"failed": None, "done": "no"}
+
+        def ok() -> None:
+            result["done"] = "yes"
+
+        def fail(reason: str) -> None:
+            result["done"] = "yes"
+            result["failed"] = reason
+
+        self.register(group, on_success=ok, on_failure=fail, timeout=timeout)
+        # Registration involves a bounded number of control-plane events;
+        # run until it resolves (the timeout event guarantees progress).
+        while result["done"] == "no":
+            if self.sim.peek_next_time() is None:
+                raise RegistrationError("registration stalled: no pending events")
+            self.sim.run(until=self.sim.peek_next_time())
+        if result["failed"] is not None:
+            raise RegistrationError(result["failed"])
+
+    def register_partial_sync(self, group: MulticastGroup,
+                              timeout: float = 2e-3) -> "set[int]":
+        """Probe registration: returns the set of members that never
+        confirmed (the survivors define the re-formed group)."""
+        state: Dict[str, Optional[str]] = {"done": "no", "failed": None}
+
+        def ok() -> None:
+            state["done"] = "yes"
+
+        def fail(reason: str) -> None:
+            state["done"] = "yes"
+            state["failed"] = reason
+
+        ctl = self.register(group, on_success=ok, on_failure=fail,
+                            timeout=timeout, allow_partial=True)
+        while state["done"] == "no":
+            if self.sim.peek_next_time() is None:
+                raise RegistrationError("registration stalled: no events")
+            self.sim.run(until=self.sim.peek_next_time())
+        if state["failed"] is not None:
+            raise RegistrationError(state["failed"])
+        return set(ctl.unconfirmed)
+
+    def unregister(self, group: MulticastGroup) -> None:
+        """Remove the group's MFT from every accelerator (control-plane
+        teardown; frees switch memory for abandoned probe groups)."""
+        for accel in self.accelerators.values():
+            accel.table.remove(group.mcst_id)
+        self.groups.pop(group.mcst_id, None)
+
+    def set_group_mode(self, mcst_id: int, mode: str) -> None:
+        """Flip a registered group between broadcast and the experimental
+        many-to-one reduce mode (§VIII) on every MDT switch.
+
+        Control-plane operation, performed out-of-band like MFT
+        registration itself.
+        """
+        if mode not in ("bcast", "reduce"):
+            raise GroupError(f"unknown group mode {mode!r}")
+        touched = 0
+        for accel in self.accelerators.values():
+            mft = accel.mft_of(mcst_id)
+            if mft is not None:
+                mft.mode = mode
+                mft.reduce_slots.clear()
+                touched += 1
+        if touched == 0:
+            raise GroupError(f"group {mcst_id:#x} is not registered anywhere")
+
+    # -- introspection -----------------------------------------------------------
+
+    def accelerator_of(self, switch_name: str) -> CepheusAccelerator:
+        return self.accelerators[switch_name]
+
+    def mdt_switches(self, mcst_id: int) -> Iterable[CepheusAccelerator]:
+        """Accelerators holding an MFT for the group (the MDT footprint)."""
+        return [a for a in self.accelerators.values() if a.mft_of(mcst_id)]
+
+    def total_mft_memory(self) -> int:
+        return sum(a.memory_bytes() for a in self.accelerators.values())

@@ -1,0 +1,103 @@
+"""Safeguard fallback (§V-D).
+
+Cepheus must keep delivering traffic through extreme accidents.  Two
+anomaly classes trip the fallback to plain application-layer multicast:
+
+1. **registration failure** — e.g. a switch ran out of MFT memory or
+   members never confirmed (the MRP controller reports this directly);
+2. **abnormal throughput collapse** — goodput below a configurable
+   fraction (default 50 %) of the expected no-loss goodput, measured
+   over a sliding window at the sender.
+
+The monitor watches the sender QP's cumulative acknowledged byte count
+(the only signal the end host has without RNIC changes).  When it trips
+it invokes the fallback callback exactly once;
+:class:`repro.collectives.cepheus_bcast.CepheusBcast` wires that to a
+Chain/BT re-transmission, as §V-D prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro import constants
+from repro.net.simulator import Event, Simulator
+from repro.transport.roce import RoceQP
+
+__all__ = ["SafeguardMonitor"]
+
+
+class SafeguardMonitor:
+    """Sliding-window goodput watchdog on a sender QP."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        qp: RoceQP,
+        expected_bps: float,
+        *,
+        threshold: float = constants.FALLBACK_GOODPUT_THRESHOLD,
+        window: float = 500e-6,
+        grace_windows: int = 2,
+        on_fallback: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.qp = qp
+        self.expected_bps = expected_bps
+        self.threshold = threshold
+        self.window = window
+        self.grace_windows = grace_windows
+        self.on_fallback = on_fallback
+        self.triggered = False
+        self.trigger_reason: Optional[str] = None
+        self._last_una = 0
+        self._windows_elapsed = 0
+        self._tick_ev: Optional[Event] = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        self._last_una = self.qp.snd_una
+        self._windows_elapsed = 0
+        self._arm()
+
+    def stop(self) -> None:
+        if self._tick_ev is not None:
+            self._tick_ev.cancel()
+            self._tick_ev = None
+
+    def _arm(self) -> None:
+        self._tick_ev = self.sim.schedule(self.window, self._tick)
+
+    # -- watchdog -----------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self._tick_ev = None
+        if self.triggered or self.qp.send_idle:
+            return  # transfer finished (or already fell back): stand down
+        self._windows_elapsed += 1
+        advanced_psns = self.qp.snd_una - self._last_una
+        self._last_una = self.qp.snd_una
+        achieved_bps = advanced_psns * self.qp.cfg.mtu * 8.0 / self.window
+        # Give the transfer a couple of windows to ramp before judging.
+        if (
+            self._windows_elapsed > self.grace_windows
+            and achieved_bps < self.threshold * self.expected_bps
+        ):
+            self.trip(
+                f"goodput {achieved_bps / 1e9:.2f} Gbps < "
+                f"{self.threshold:.0%} of expected {self.expected_bps / 1e9:.2f} Gbps"
+            )
+            return
+        self._arm()
+
+    def trip(self, reason: str) -> None:
+        """Trigger the fallback (also called directly on registration
+        failure); idempotent."""
+        if self.triggered:
+            return
+        self.triggered = True
+        self.trigger_reason = reason
+        self.stop()
+        if self.on_fallback is not None:
+            self.on_fallback(reason)

@@ -1,0 +1,121 @@
+"""Multicast group management: McstIDs, membership, PSN-synced sources.
+
+A multicast task sets up one :class:`MulticastGroup` with a unique
+32-bit McstID drawn from the reserved range; every member establishes a
+single RoCE RC connection whose remote is the *virtual* tuple
+``<McstID, 0x1>`` (§III-A).  The group object also implements the
+§III-E source-switching procedure: PSN synchronization between the old
+and new source hosts (the in-network side is handled by the
+accelerator's ingress-port detection).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro import constants
+from repro.errors import GroupError
+from repro.transport.roce import RoceQP
+
+__all__ = ["MemberRecord", "McstIdAllocator", "MulticastGroup"]
+
+
+@dataclass(frozen=True)
+class MemberRecord:
+    """The per-member connection info carried in MRP packets (Fig. 5),
+    extended with MR info for one-sided multicast WRITE (§III-B)."""
+
+    ip: int
+    qpn: int
+    vaddr: int = 0
+    rkey: int = 0
+
+
+class McstIdAllocator:
+    """Hands out McstIDs from the reserved multicast range."""
+
+    def __init__(self, base: int = constants.MCSTID_BASE) -> None:
+        self._counter = itertools.count(base)
+
+    def allocate(self) -> int:
+        return next(self._counter)
+
+
+class MulticastGroup:
+    """Membership + per-member QPs for one multicast task.
+
+    ``members`` maps host IP to that member's single RoCE QP.  Any
+    member can be the source (§III-E); ``leader_ip`` hosts the MRP
+    controller and defaults to the first member.
+    """
+
+    def __init__(
+        self,
+        mcst_id: int,
+        members: Dict[int, RoceQP],
+        leader_ip: Optional[int] = None,
+        mr_info: Optional[Dict[int, "tuple[int, int]"]] = None,
+    ) -> None:
+        if len(members) < 2:
+            raise GroupError("a multicast group needs at least 2 members")
+        self.mcst_id = mcst_id
+        self.members = dict(members)
+        self.leader_ip = leader_ip if leader_ip is not None else next(iter(members))
+        if self.leader_ip not in self.members:
+            raise GroupError(f"leader {self.leader_ip} is not a member")
+        self.mr_info = dict(mr_info or {})
+        self.current_source: int = self.leader_ip
+        self.registered = False
+
+    # -- connection establishment (§III-A 'Hosts Establishing Connections') ----
+
+    def connect_virtual(self) -> None:
+        """Point every member QP at the virtual remote <McstID, 0x1>."""
+        for qp in self.members.values():
+            qp.connect(self.mcst_id, constants.VIRTUAL_DST_QP)
+
+    def member_records(self) -> List[MemberRecord]:
+        """All members' connection info, leader included (the MDT must
+        reach every potential receiver for source switching to work)."""
+        records = []
+        for ip, qp in sorted(self.members.items()):
+            vaddr, rkey = self.mr_info.get(ip, (0, 0))
+            records.append(MemberRecord(ip=ip, qpn=qp.qpn, vaddr=vaddr, rkey=rkey))
+        return records
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def receivers(self) -> List[int]:
+        """Everyone but the current source."""
+        return [ip for ip in self.members if ip != self.current_source]
+
+    def qp_of(self, ip: int) -> RoceQP:
+        try:
+            return self.members[ip]
+        except KeyError:
+            raise GroupError(f"{ip} is not a member of group {self.mcst_id:#x}")
+
+    # -- source switching (§III-E) -----------------------------------------------
+
+    def switch_source(self, new_source_ip: int) -> None:
+        """PSN synchronization between the old and the new source.
+
+        Old source: ``rqPSN <- sqPSN`` (it will now verify incoming
+        packets that continue its own outgoing numbering).  New source:
+        ``sqPSN <- rqPSN`` (it continues the stream where it left off as
+        a receiver).  The switches need no signalling — they detect the
+        new ingress port from the data itself.
+        """
+        if new_source_ip not in self.members:
+            raise GroupError(f"{new_source_ip} is not a member")
+        if new_source_ip == self.current_source:
+            return
+        old_qp = self.members[self.current_source]
+        new_qp = self.members[new_source_ip]
+        old_qp.sync_as_old_source()
+        new_qp.sync_as_new_source()
+        self.current_source = new_source_ip

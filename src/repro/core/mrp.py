@@ -1,0 +1,224 @@
+"""MFT Registration Protocol (MRP), §III-C.
+
+MRP is the paper's UDP-based control protocol that installs the MFT on
+every switch of the multicast distribution tree, hop by hop:
+
+1. the **controller** on the leader host gathers every member's
+   <IP, QPN> (plus MR info for WRITE) out-of-band;
+2. it encapsulates them into MRP packets — at most
+   :data:`~repro.constants.MRP_NODES_PER_PACKET` member records each,
+   because MRP is constrained to the 1500-byte Ethernet MTU (Fig. 5) —
+   addressed to the McstID, and sends them to its leaf switch;
+3. each switch builds its local MFT (reuse-then-least-loaded port
+   selection) and forwards per-port sub-MRPs downstream
+   (that logic lives in :mod:`repro.core.accelerator`);
+4. each receiver that finds its own IP in an MRP packet confirms its
+   membership to the controller; registration completes when all
+   confirmations arrive, or fails on timeout / an explicit switch error
+   (MFT memory exhausted), which is a safeguard-fallback trigger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro import constants
+from repro.core.group import MemberRecord, MulticastGroup
+from repro.errors import RegistrationError
+from repro.net.nic import Nic
+from repro.net.packet import Packet, PacketType
+from repro.net.simulator import Event, Simulator
+
+__all__ = ["MrpPayload", "MrpError", "MrpController", "HostControlAgent",
+           "chunk_records"]
+
+#: Fixed MRP header bytes (metadata: McstID, seq, total, controller IP).
+_MRP_METADATA_BYTES = 16
+#: Bytes per member record on the wire (IP 4 + QPN 3 + padding 1).
+_MRP_NODE_BYTES = 8
+
+
+@dataclass
+class MrpPayload:
+    """In-simulation representation of the Fig. 5 packet layout."""
+
+    mcst_id: int
+    seq: int
+    total: int
+    controller_ip: int
+    nodes: List[MemberRecord]
+
+    def wire_bytes(self) -> int:
+        return _MRP_METADATA_BYTES + _MRP_NODE_BYTES * len(self.nodes)
+
+
+@dataclass
+class MrpError:
+    """Carried by a CTRL packet when a switch rejects a registration."""
+
+    mcst_id: int
+    reason: str
+    switch_name: str
+
+
+def chunk_records(records: List[MemberRecord],
+                  per_packet: int = constants.MRP_NODES_PER_PACKET
+                  ) -> List[List[MemberRecord]]:
+    """Split the member list across MRP packets (MTU limit, §III-C)."""
+    if per_packet <= 0:
+        raise RegistrationError(f"invalid MRP chunk size {per_packet}")
+    return [records[i:i + per_packet] for i in range(0, len(records), per_packet)]
+
+
+class HostControlAgent:
+    """Per-host control-plane agent.
+
+    Owns the NIC's control handler and multiplexes it: it answers MRP
+    membership affirmations automatically and lets local controllers
+    subscribe to confirmations/errors.
+    """
+
+    def __init__(self, nic: Nic) -> None:
+        self.nic = nic
+        self.nic.control_handler = self._dispatch
+        self._controllers: Dict[int, "MrpController"] = {}
+        self.mrp_seen: Set[int] = set()  # group ids this host affirmed
+
+    def attach_controller(self, ctl: "MrpController") -> None:
+        self._controllers[ctl.group.mcst_id] = ctl
+
+    def detach_controller(self, mcst_id: int) -> None:
+        self._controllers.pop(mcst_id, None)
+
+    def _dispatch(self, pkt: Packet) -> None:
+        if pkt.ptype == PacketType.MRP:
+            self._handle_mrp(pkt)
+        elif pkt.ptype == PacketType.MRP_CONFIRM:
+            ctl = self._controllers.get(pkt.meta[0]) if pkt.meta else None
+            if ctl is not None:
+                ctl.on_confirm(pkt.meta[1])
+        elif pkt.ptype == PacketType.CTRL and isinstance(pkt.meta, MrpError):
+            ctl = self._controllers.get(pkt.meta.mcst_id)
+            if ctl is not None:
+                ctl.on_switch_error(pkt.meta)
+
+    def _handle_mrp(self, pkt: Packet) -> None:
+        payload: MrpPayload = pkt.mrp
+        my_ip = self.nic.ip
+        if my_ip == payload.controller_ip:
+            return  # the controller needs no affirmation from itself
+        if any(rec.ip == my_ip for rec in payload.nodes):
+            self.mrp_seen.add(payload.mcst_id)
+            confirm = Packet(
+                PacketType.MRP_CONFIRM, my_ip, payload.controller_ip,
+                payload=16, meta=(payload.mcst_id, my_ip),
+                created_at=self.nic.sim.now,
+            )
+            self.nic.send(confirm)
+
+
+class MrpController:
+    """The registration controller running on the leader host (§III-A)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        group: MulticastGroup,
+        leader_nic: Nic,
+        *,
+        on_success: Optional[Callable[[], None]] = None,
+        on_failure: Optional[Callable[[str], None]] = None,
+        timeout: float = 10e-3,
+        gather_delay: float = 5e-6,
+        allow_partial: bool = False,
+    ) -> None:
+        """``allow_partial`` implements the probing half of the paper's
+        envisioned fine-grained fallback (§V-D future work): a timeout
+        with at least one confirmation *succeeds*, recording the silent
+        members in :attr:`unconfirmed` so the caller can re-form the
+        group around the survivors."""
+        self.sim = sim
+        self.group = group
+        self.nic = leader_nic
+        self.on_success = on_success
+        self.on_failure = on_failure
+        self.timeout = timeout
+        self.gather_delay = gather_delay
+        self.allow_partial = allow_partial
+        self._pending: Set[int] = set()
+        self._timeout_ev: Optional[Event] = None
+        self.finished = False
+        self.failed_reason: Optional[str] = None
+        self.unconfirmed: Set[int] = set()
+
+    # -- protocol steps ----------------------------------------------------
+
+    def start(self) -> None:
+        """Step 1: gather member states out-of-band, then emit MRP."""
+        self.sim.schedule(self.gather_delay, self._send_mrp_packets)
+
+    def _send_mrp_packets(self) -> None:
+        records = self.group.member_records()
+        chunks = chunk_records(records)
+        total = len(chunks)
+        for seq, nodes in enumerate(chunks):
+            payload = MrpPayload(
+                mcst_id=self.group.mcst_id, seq=seq, total=total,
+                controller_ip=self.nic.ip, nodes=nodes,
+            )
+            pkt = Packet(
+                PacketType.MRP, self.nic.ip, self.group.mcst_id,
+                payload=payload.wire_bytes(), mrp=payload,
+                created_at=self.sim.now,
+            )
+            self.nic.send(pkt)
+        self._pending = {
+            ip for ip in self.group.members if ip != self.group.leader_ip
+        }
+        self._timeout_ev = self.sim.schedule(self.timeout, self._on_timeout)
+        if not self._pending:  # degenerate 1-member group
+            self._finish_ok()
+
+    # -- callbacks from the host agent ------------------------------------------
+
+    def on_confirm(self, member_ip: int) -> None:
+        if self.finished:
+            return
+        self._pending.discard(member_ip)
+        if not self._pending:
+            self._finish_ok()
+
+    def on_switch_error(self, err: MrpError) -> None:
+        if self.finished:
+            return
+        self._finish_fail(f"{err.switch_name}: {err.reason}")
+
+    def _on_timeout(self) -> None:
+        if self.finished:
+            return
+        missing = sorted(self._pending)
+        expected = len(self.group.members) - 1
+        if self.allow_partial and len(missing) < expected:
+            self.unconfirmed = set(missing)
+            self._finish_ok()
+            return
+        self._finish_fail(f"timeout waiting for confirmations from {missing}")
+
+    # -- completion ------------------------------------------------------------------
+
+    def _finish_ok(self) -> None:
+        self.finished = True
+        self.group.registered = True
+        if self._timeout_ev is not None:
+            self._timeout_ev.cancel()
+        if self.on_success is not None:
+            self.on_success()
+
+    def _finish_fail(self, reason: str) -> None:
+        self.finished = True
+        self.failed_reason = reason
+        if self._timeout_ev is not None:
+            self._timeout_ev.cancel()
+        if self.on_failure is not None:
+            self.on_failure(reason)

@@ -1,0 +1,5 @@
+"""Experimental extensions beyond the paper's evaluated scope (§VIII)."""
+
+from repro.ext.inreduce import InNetworkReduce, InNetworkReduceResult
+
+__all__ = ["InNetworkReduce", "InNetworkReduceResult"]

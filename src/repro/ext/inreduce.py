@@ -1,0 +1,120 @@
+"""Experimental in-network reduction — the §VIII many-to-one primitive.
+
+The paper's conclusion: "we plan to extend Cepheus for more collective
+communication primitives, such as many-to-one (e.g., MPI-Reduce)".
+This module prototypes that extension on the same design principles as
+the broadcast primitive:
+
+* members keep their single RC connection to the virtual remote;
+* the registered MDT is reused with its *mode* flipped to ``reduce``:
+  member contributions combine per-PSN on the way up, the root's
+  feedback replicates (with connection bridging) on the way down;
+* the RNICs stay unmodified: each member's QP sees a perfectly normal
+  unicast-looking ACK/NACK/CNP stream, and the root's QP sees one
+  in-order data stream carrying the fully-combined vector.
+
+Contrast with SHARP (§VI): no switch buffering of payloads for
+retransmission — a root NACK rewinds *all* members together (collective
+order makes their PSNs line up), and the combining slots refill
+coherently.  The cost is that one member's retransmission makes every
+member retransmit, the same trade the broadcast side makes for loss
+(§V-C), which is why this too wants a PFC-lossless fabric.
+
+Limitations (why the paper defers this): requires collective posting
+discipline (every member posts equal sizes in the same order) and a
+fixed root per mode-switch; combining slots assume bounded reordering
+(the RC window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.apps.cluster import Cluster
+from repro.core.group import MulticastGroup
+from repro.errors import ConfigurationError
+from repro.transport.roce import RoceQP
+
+__all__ = ["InNetworkReduceResult", "InNetworkReduce"]
+
+
+@dataclass
+class InNetworkReduceResult:
+    """Outcome of one in-network reduction."""
+
+    root: int
+    size: int
+    start: float
+    root_received: Optional[float] = None
+    members_completed: int = 0
+
+    @property
+    def duration(self) -> float:
+        if self.root_received is None:
+            raise ConfigurationError("reduction never reached the root")
+        return self.root_received - self.start
+
+
+class InNetworkReduce:
+    """Many-to-one combining over the Cepheus MDT (experimental)."""
+
+    def __init__(self, cluster: Cluster, members: List[int],
+                 root: Optional[int] = None) -> None:
+        if cluster.fabric is None:
+            raise ConfigurationError("in-network reduce needs a Cepheus fabric")
+        if len(members) < 2:
+            raise ConfigurationError("reduce needs at least 2 members")
+        self.cluster = cluster
+        self.members = list(members)
+        self.root = self.members[0] if root is None else root
+        if self.root not in self.members:
+            raise ConfigurationError(f"root {self.root} not in members")
+        self.group: Optional[MulticastGroup] = None
+        self.qps: Dict[int, RoceQP] = {}
+        self._prepared = False
+
+    def prepare(self) -> None:
+        """Register the group (broadcast-style MDT), then flip it to
+        reduce mode — a pure control-plane operation."""
+        if self._prepared:
+            return
+        fabric = self.cluster.fabric
+        self.qps = {ip: self.cluster.ctx(ip).create_qp()
+                    for ip in self.members}
+        # The root is the leader: the MDT's AckOutPort then points at it
+        # from registration, which in reduce mode is the combining sink.
+        self.group = fabric.create_group(self.qps, leader_ip=self.root)
+        fabric.register_sync(self.group)
+        fabric.set_group_mode(self.group.mcst_id, "reduce")
+        self._prepared = True
+
+    def run(self, size: int) -> InNetworkReduceResult:
+        """Every non-root member contributes ``size`` bytes; returns when
+        the root has the combined vector *and* every member's send is
+        acknowledged."""
+        self.prepare()
+        sim = self.cluster.sim
+        stack = self.cluster.stack
+        result = InNetworkReduceResult(self.root, size, start=sim.now)
+
+        def root_got(mid: int, sz: int, now: float, meta) -> None:
+            if sz == size and result.root_received is None:
+                result.root_received = now + stack.recv
+
+        self.qps[self.root].on_message = root_got
+
+        def member_done(mid: int, now: float) -> None:
+            result.members_completed += 1
+
+        def post_all() -> None:
+            for ip in self.members:
+                if ip == self.root:
+                    continue
+                self.qps[ip].post_send(size, on_complete=member_done)
+
+        sim.schedule(stack.send, post_all)
+        sim.run()
+        if result.root_received is None:
+            raise ConfigurationError("in-network reduce stalled")
+        return result

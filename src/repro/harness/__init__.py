@@ -1,0 +1,15 @@
+"""Experiment harness: one entry per paper table/figure + ablations."""
+
+from repro.harness.report import (ExperimentResult, ascii_chart, fmt_size,
+                                  fmt_time, format_table, ratio)
+from repro.harness.runner import ALL_EXPERIMENTS, run_experiments
+from repro.harness.sweeps import BcastSweep
+from repro.harness.workloads import (DNN_UPDATES, MIXED, QUERY,
+                                     STORAGE_REPLICATION, MulticastWorkload,
+                                     PoissonArrivals, SizeDistribution)
+
+__all__ = ["ExperimentResult", "fmt_size", "fmt_time", "format_table",
+           "ratio", "ascii_chart", "ALL_EXPERIMENTS", "run_experiments",
+           "BcastSweep",
+           "SizeDistribution", "PoissonArrivals", "MulticastWorkload",
+           "QUERY", "STORAGE_REPLICATION", "DNN_UPDATES", "MIXED"]

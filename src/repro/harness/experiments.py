@@ -1,0 +1,422 @@
+"""One function per paper table/figure (§V), each returning an
+:class:`~repro.harness.report.ExperimentResult`.
+
+Every function takes a ``quick`` flag: ``quick=True`` shrinks sizes and
+group scales so the whole suite runs in minutes under pytest-benchmark;
+``quick=False`` runs the paper-faithful parameters (used to produce
+EXPERIMENTS.md).  Scale substitutions are spelled out in each
+docstring and in the result's ``notes``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import constants
+from repro.analytic import NetModel, binomial_jct, cepheus_jct, chain_jct
+from repro.apps import Cluster, HplConfig, HplModel, ReplicatedStore
+from repro.collectives import (BinomialTreeBcast, CepheusBcast, ChainBcast,
+                               RdmcBcast)
+from repro.core.mft import Mft
+from repro.harness.report import ExperimentResult, fmt_size
+from repro.net import SwitchConfig
+from repro.net.trace import ThroughputSampler, collect_run_stats
+
+__all__ = [
+    "fig8_bcast_small", "fig9_bcast_large", "rdmc_comparison",
+    "tab1_storage_iops", "fig10_storage_latency", "fig11_hpl",
+    "fig12_large_scale", "fig13_loss", "fig14_fairness", "fig7b_memory",
+]
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+def _fresh_testbed(n: int = 4) -> Cluster:
+    return Cluster.testbed(n)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — MPI-Bcast JCT, small messages, 4-host testbed
+# ---------------------------------------------------------------------------
+
+def fig8_bcast_small(quick: bool = True) -> ExperimentResult:
+    """Cepheus vs BT vs Chain for 64 B - 64 KB (paper: 2.5-3.5x over BT,
+    3-5.2x over Chain)."""
+    sizes = [64, 1 * KB, 16 * KB, 64 * KB] if quick else \
+        [64, 256, 1 * KB, 4 * KB, 16 * KB, 64 * KB]
+    res = ExperimentResult(
+        exp_id="fig8", title="MPI-Bcast JCT, small messages (testbed, 4 hosts)",
+        headers=["size", "cepheus_us", "bt_us", "chain_us",
+                 "speedup_vs_bt", "speedup_vs_chain"],
+        paper_claim="Cepheus 2.5-3.5x faster than BT, 3-5.2x than Chain",
+    )
+    cl = _fresh_testbed(4)
+    algos = {
+        "cepheus": CepheusBcast(cl, cl.host_ips),
+        "bt": BinomialTreeBcast(cl, cl.host_ips),
+        "chain": ChainBcast(cl, cl.host_ips, slices=4),
+    }
+    for size in sizes:
+        jct = {k: a.run(size).jct for k, a in algos.items()}
+        res.rows.append({
+            "size": fmt_size(size),
+            "cepheus_us": jct["cepheus"] * 1e6,
+            "bt_us": jct["bt"] * 1e6,
+            "chain_us": jct["chain"] * 1e6,
+            "speedup_vs_bt": jct["bt"] / jct["cepheus"],
+            "speedup_vs_chain": jct["chain"] / jct["cepheus"],
+        })
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — MPI-Bcast JCT, large messages
+# ---------------------------------------------------------------------------
+
+def fig9_bcast_large(quick: bool = True) -> ExperimentResult:
+    """Cepheus vs BT vs Chain for large messages (paper: 1.3-2.8x over
+    Chain, 2-2.8x over BT).  Chain uses 4 slices (= #hosts), the paper's
+    'common configuration'.
+
+    Scale substitution: the paper sweeps to 512 MB; ``quick`` stops at
+    64 MB (throughput ratios are size-stable there, full mode at 256 MB).
+    """
+    sizes = [1 * MB, 16 * MB, 64 * MB] if quick else \
+        [1 * MB, 4 * MB, 16 * MB, 64 * MB, 256 * MB]
+    res = ExperimentResult(
+        exp_id="fig9", title="MPI-Bcast JCT, large messages (testbed, 4 hosts)",
+        headers=["size", "cepheus_ms", "bt_ms", "chain_ms",
+                 "speedup_vs_bt", "speedup_vs_chain"],
+        paper_claim="Cepheus 2-2.8x over BT, 1.3-2.8x over Chain",
+        notes="paper sweeps to 512MB; ratios saturate well below that",
+    )
+    cl = _fresh_testbed(4)
+    algos = {
+        "cepheus": CepheusBcast(cl, cl.host_ips),
+        "bt": BinomialTreeBcast(cl, cl.host_ips),
+        "chain": ChainBcast(cl, cl.host_ips, slices=4),
+    }
+    for size in sizes:
+        jct = {k: a.run(size).jct for k, a in algos.items()}
+        res.rows.append({
+            "size": fmt_size(size),
+            "cepheus_ms": jct["cepheus"] * 1e3,
+            "bt_ms": jct["bt"] * 1e3,
+            "chain_ms": jct["chain"] * 1e3,
+            "speedup_vs_bt": jct["bt"] / jct["cepheus"],
+            "speedup_vs_chain": jct["chain"] / jct["cepheus"],
+        })
+    return res
+
+
+# ---------------------------------------------------------------------------
+# §V-A text — RDMC comparison at 256 MB
+# ---------------------------------------------------------------------------
+
+def rdmc_comparison(quick: bool = True) -> ExperimentResult:
+    """Paper: 256 MB broadcast, Cepheus 24.4 ms vs RDMC ~35 ms."""
+    size = 64 * MB if quick else 256 * MB
+    res = ExperimentResult(
+        exp_id="rdmc", title=f"{fmt_size(size)} broadcast vs RDMC (4 hosts)",
+        headers=["scheme", "jct_ms", "ratio_vs_cepheus"],
+        paper_claim="256MB: Cepheus 24.4ms, RDMC ~35ms (1.43x)",
+    )
+    cl = _fresh_testbed(4)
+    ce = CepheusBcast(cl, cl.host_ips).run(size).jct
+    rd = RdmcBcast(cl, cl.host_ips).run(size).jct
+    res.rows.append({"scheme": "cepheus", "jct_ms": ce * 1e3,
+                     "ratio_vs_cepheus": 1.0})
+    res.rows.append({"scheme": "rdmc", "jct_ms": rd * 1e3,
+                     "ratio_vs_cepheus": rd / ce})
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Table I — replication writing throughput
+# ---------------------------------------------------------------------------
+
+def tab1_storage_iops(quick: bool = True) -> ExperimentResult:
+    """8 KB replication IOPS (paper: 1-unicast 1.188 M, 3-unicasts
+    0.413 M, Cepheus 1.167 M; Cepheus goodput 76.5 Gbps)."""
+    n_ios = 5000 if quick else 40000
+    res = ExperimentResult(
+        exp_id="tab1", title="Replication writing throughput, 8KB IOs",
+        headers=["scheme", "iops_M", "goodput_gbps"],
+        paper_claim="1-unicast 1.188M / 3-unicasts 0.413M / Cepheus 1.167M IOPS",
+    )
+    for scheme, servers in (("unicast", [2]), ("multi-unicast", [2, 3, 4]),
+                            ("cepheus", [2, 3, 4])):
+        cl = _fresh_testbed(4)
+        store = ReplicatedStore(cl, 1, servers, scheme)
+        r = store.run_iops(8 * KB, n_ios=n_ios)
+        label = {"unicast": "1-unicast", "multi-unicast": "3-unicasts",
+                 "cepheus": "cepheus"}[scheme]
+        res.rows.append({"scheme": label, "iops_M": r.iops / 1e6,
+                         "goodput_gbps": r.goodput_gbps})
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 — single IO latency
+# ---------------------------------------------------------------------------
+
+def fig10_storage_latency(quick: bool = True) -> ExperimentResult:
+    """Single-IO write latency vs IO size (paper: Cepheus -23 % @8 KB,
+    -60 % @512 KB vs 3-unicasts; comparable to 1-unicast)."""
+    sizes = [8 * KB, 64 * KB, 512 * KB] if quick else \
+        [8 * KB, 32 * KB, 64 * KB, 128 * KB, 256 * KB, 512 * KB]
+    res = ExperimentResult(
+        exp_id="fig10", title="Single IO latency (three-replica write)",
+        headers=["io_size", "unicast_us", "three_unicasts_us", "cepheus_us",
+                 "reduction_vs_3uni"],
+        paper_claim="-23% @8KB, -60% @512KB vs 3-unicasts; ~= 1-unicast",
+    )
+    for size in sizes:
+        lat = {}
+        for scheme, servers in (("unicast", [2]),
+                                ("multi-unicast", [2, 3, 4]),
+                                ("cepheus", [2, 3, 4])):
+            cl = _fresh_testbed(4)
+            lat[scheme] = ReplicatedStore(cl, 1, servers, scheme).run_latency(size)
+        res.rows.append({
+            "io_size": fmt_size(size),
+            "unicast_us": lat["unicast"] * 1e6,
+            "three_unicasts_us": lat["multi-unicast"] * 1e6,
+            "cepheus_us": lat["cepheus"] * 1e6,
+            "reduction_vs_3uni": 1 - lat["cepheus"] / lat["multi-unicast"],
+        })
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — HPL end-to-end + communication time
+# ---------------------------------------------------------------------------
+
+def fig11_hpl(quick: bool = True) -> ExperimentResult:
+    """HPL JCT breakdown on 1x4 (PB) and 4x1 (RS) grids (paper: -12 %
+    JCT / -67 % comm for PB; -4 % JCT / -18 % comm for RS).
+
+    Both grids run the paper-scale N=8192 problem: the RS comparison is
+    scale-sensitive (at small panels the DCQCN incast transient of the
+    pre-multicast gather outweighs the multicast gain — an honest model
+    finding recorded in EXPERIMENTS.md).
+    """
+    cfg = HplConfig(n=8192, nb=256)
+    res = ExperimentResult(
+        exp_id="fig11", title="HPL JCT and communication-time breakdown",
+        headers=["experiment", "scheme", "total_s", "comm_s", "others_s",
+                 "jct_reduction", "comm_reduction"],
+        paper_claim="PB accel: JCT -12%, comm -67%; RS accel: JCT -4%, comm -18%",
+    )
+
+    def one(grid, kind: str, baseline_alg: str) -> None:
+        out = {}
+        for alg in (baseline_alg, "cepheus"):
+            cl = _fresh_testbed(4)
+            kwargs = {f"{kind}_algorithm": alg}
+            out[alg] = HplModel(cl, grid, cfg, **kwargs).run()
+        base, ceph = out[baseline_alg], out["cepheus"]
+        for alg, r in out.items():
+            res.rows.append({
+                "experiment": f"{kind.upper()} ({r.grid})", "scheme": alg,
+                "total_s": r.total, "comm_s": r.comm_time, "others_s": r.others,
+                "jct_reduction": (1 - r.total / base.total) if alg != baseline_alg else 0.0,
+                "comm_reduction": (1 - r.comm_time / base.comm_time) if alg != baseline_alg else 0.0,
+            })
+
+    one([[1, 2, 3, 4]], "pb", "increasing-ring")
+    one([[1], [2], [3], [4]], "rs", "long")
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 — large-scale multicast FCT (simulation)
+# ---------------------------------------------------------------------------
+
+def fig12_large_scale(quick: bool = True) -> ExperimentResult:
+    """FCT of a large multicast group over a 3-layer fat-tree.
+
+    Paper: group 512 on a 1024-server fat-tree, 64 B - 1 GB; Cepheus up
+    to 164x/4.5x faster than Chain/BT for short flows and 2.1x/8.9x for
+    large flows.
+
+    Scale substitution: packet level up to a size cap; the largest
+    points use the validated closed-form models (marked ``analytic``).
+    ``quick`` uses a 64-member group on a k=8 fat-tree.
+    """
+    if quick:
+        k, group_size = 8, 64
+        sizes = [64, 64 * KB, 1 * MB, 64 * MB, 1024 * MB]
+        cap = 2 * MB
+    else:
+        k, group_size = 16, 512
+        sizes = [64, 64 * KB, 1 * MB, 4 * MB, 64 * MB, 1024 * MB]
+        cap = 4 * MB
+    res = ExperimentResult(
+        exp_id="fig12",
+        title=f"{group_size}-member multicast FCT on a k={k} fat-tree",
+        headers=["size", "mode", "cepheus", "bt", "chain",
+                 "speedup_vs_bt", "speedup_vs_chain"],
+        paper_claim="512-scale: up to 164x/4.5x (short, vs Chain/BT), "
+                    "2.1x/8.9x (large)",
+        notes=f"packet-level up to {fmt_size(cap)}, analytic beyond "
+              "(models validated against the packet engine in tests)",
+    )
+    cl = Cluster.fat_tree_cluster(k)
+    members = cl.host_ips[:group_size]
+    # Chain slices follow the paper's "= #hosts" configuration, which
+    # at large scale keeps Chain bandwidth-competitive (its large-flow
+    # deficit is then the ~2x fill/drain cost, per the paper's 2.1x).
+    algos = {
+        "cepheus": CepheusBcast(cl, members),
+        "bt": BinomialTreeBcast(cl, members),
+        "chain": ChainBcast(cl, members, slices=group_size),
+    }
+    # Analytic counterparts share constants with the engine; the MDT of
+    # a 3-layer fat-tree is at most 5 switch hops deep.
+    net = NetModel(hops=5)
+    models: Dict[str, Callable[..., float]] = {
+        "cepheus": lambda s: cepheus_jct(s, group_size, net, mdt_depth=5),
+        "bt": lambda s: binomial_jct(s, group_size, net),
+        "chain": lambda s: chain_jct(s, group_size, net, slices=group_size),
+    }
+    for size in sizes:
+        if size <= cap:
+            jct = {k2: a.run(size).jct for k2, a in algos.items()}
+            mode = "packet"
+        else:
+            jct = {k2: m(size) for k2, m in models.items()}
+            mode = "analytic"
+        res.rows.append({
+            "size": fmt_size(size), "mode": mode,
+            "cepheus": jct["cepheus"], "bt": jct["bt"], "chain": jct["chain"],
+            "speedup_vs_bt": jct["bt"] / jct["cepheus"],
+            "speedup_vs_chain": jct["chain"] / jct["cepheus"],
+        })
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13 — loss tolerance
+# ---------------------------------------------------------------------------
+
+def fig13_loss(quick: bool = True,
+               setups: Optional[List[Tuple[int, int, int]]] = None,
+               rates: Optional[List[float]] = None) -> ExperimentResult:
+    """FCT and normalized throughput under random loss at the middle
+    switches (paper: scales 64 & 512, 128 MB flows, loss 1e-8..1e-4;
+    Cepheus beats Chain at scale 64 but degrades faster — go-back-N
+    retransmits serve *all* receivers).
+
+    Scale substitution: ``quick`` uses scales 16/64 with 4/8 MB flows
+    (losses per flow kept comparable by the smaller packet count being
+    offset by the higher tested rates); full mode runs 64-member groups
+    with 32 MB flows.  ``setups`` entries are (fat-tree k, group size,
+    flow bytes); both axes can be overridden for cheaper smoke runs.
+    """
+    if setups is None:
+        if quick:
+            setups = [(4, 16, 4 * MB), (8, 64, 8 * MB)]
+        else:
+            setups = [(8, 64, 32 * MB), (16, 512, 8 * MB)]
+    if rates is None:
+        # The extra 5e-4 point guarantees visible drops at quick-mode
+        # flow sizes (at 1e-4 a lucky seed can see none).
+        rates = ([0.0, 1e-6, 1e-5, 1e-4, 5e-4] if quick
+                 else [0.0, 1e-8, 1e-6, 1e-5, 1e-4, 5e-4])
+    res = ExperimentResult(
+        exp_id="fig13", title="FCT and normalized throughput under packet loss",
+        headers=["scale", "loss_rate", "scheme", "fct_ms", "norm_tput"],
+        paper_claim="Cepheus keeps better FCT than Chain at scale 64; at "
+                    "512/1e-4 go-back-N retransmission makes it worse",
+    )
+    for k, group_size, flow in setups:
+        baselines: Dict[str, float] = {}
+        for rate in rates:
+            for scheme in ("cepheus", "chain"):
+                cl = Cluster.fat_tree_cluster(k)
+                cl.topo.set_loss_rate(rate, layers=("agg", "core"))
+                members = cl.host_ips[:group_size]
+                algo = (CepheusBcast(cl, members) if scheme == "cepheus"
+                        else ChainBcast(cl, members, slices=group_size))
+                fct = algo.run(flow).jct
+                if rate == 0.0:
+                    baselines[scheme] = fct
+                res.rows.append({
+                    "scale": group_size, "loss_rate": rate, "scheme": scheme,
+                    "fct_ms": fct * 1e3,
+                    "norm_tput": baselines[scheme] / fct,
+                })
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14 — fairness and convergence
+# ---------------------------------------------------------------------------
+
+def fig14_fairness(quick: bool = True) -> ExperimentResult:
+    """Throughput dynamics of one multicast and two unicast flows with
+    staggered starts (paper: fair sharing + adaptation to a new
+    bottleneck after the first unicast flow ends)."""
+    f1_bytes = (220 if quick else 400) * MB
+    f2_bytes = (30 if quick else 60) * MB
+    f3_bytes = (30 if quick else 60) * MB
+    t_f2, t_f3 = 3e-3, 13e-3
+    cl = Cluster.fat_tree_cluster(4)  # exactly 16 hosts, like the paper's pick
+    sim = cl.sim
+    algo = CepheusBcast(cl, cl.host_ips)
+    algo.prepare()
+    s1 = ThroughputSampler(1e-3)
+    algo.qps[3].rx_sampler = s1          # f1 measured at f2's bottleneck host
+    s2, s3 = ThroughputSampler(1e-3), ThroughputSampler(1e-3)
+    q2 = cl.qp_to(2, 3)
+    cl.qp_to(3, 2).rx_sampler = s2
+    q4 = cl.qp_to(4, 5)
+    cl.qp_to(5, 4).rx_sampler = s3
+    algo.qps[1].post_send(f1_bytes)
+    sim.schedule(t_f2, lambda: q2.post_send(f2_bytes))
+    sim.schedule(t_f3, lambda: q4.post_send(f3_bytes))
+    sim.run()
+    res = ExperimentResult(
+        exp_id="fig14", title="Multicast vs unicast throughput dynamics",
+        headers=["t_ms", "f1_gbps", "f2_gbps", "f3_gbps"],
+        paper_claim="f1 grabs full bandwidth, converges to fair share with "
+                    "f2, re-grabs, then re-converges with f3",
+        notes="f1 sampled at the f2-bottleneck receiver; DCQCN converges "
+              "over ~10ms windows",
+    )
+    a, b, c = s1.series_gbps(), s2.series_gbps(), s3.series_gbps()
+    for i in range(max(len(a), len(b), len(c))):
+        pick = lambda s: s[i] if i < len(s) else 0.0
+        res.rows.append({"t_ms": i, "f1_gbps": pick(a), "f2_gbps": pick(b),
+                         "f3_gbps": pick(c)})
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7b — accelerator state memory (software analogue)
+# ---------------------------------------------------------------------------
+
+def fig7b_memory(quick: bool = True) -> ExperimentResult:
+    """The FPGA-resource table has no software analogue; we reproduce
+    the paper's scalability claim instead: 1 K groups cost <= 0.69 MB of
+    MFT memory on a 64-port switch, independent of group size."""
+    n_groups = 1024
+    res = ExperimentResult(
+        exp_id="fig7b", title="MFT memory model (64-port switch)",
+        headers=["groups", "bytes_per_group", "total_MB", "paper_bound_MB"],
+        paper_claim="1K MGs cost at most 0.69MB per switch",
+    )
+    full = Mft(constants.MCSTID_BASE, 64)
+    from repro.core.mft import PathEntry
+    for port in range(64):
+        full.add_entry(PathEntry(port=port, is_host=(port % 2 == 0),
+                                 dst_ip=port + 1, dst_qp=0x100 + port))
+    per_group = full.memory_bytes()
+    res.rows.append({
+        "groups": n_groups, "bytes_per_group": per_group,
+        "total_MB": per_group * n_groups / 1e6, "paper_bound_MB": 0.69,
+    })
+    return res

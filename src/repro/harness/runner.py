@@ -1,0 +1,75 @@
+"""Run the whole evaluation and emit paper-style text.
+
+``python -m repro.harness.runner``            quick mode (minutes)
+``python -m repro.harness.runner --full``     paper-scale parameters
+``python -m repro.harness.runner --only fig8,fig12``
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.harness import ablations, experiments
+from repro.harness.report import ExperimentResult, format_table
+
+__all__ = ["ALL_EXPERIMENTS", "run_experiments", "main"]
+
+ALL_EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {
+    "fig7b": experiments.fig7b_memory,
+    "fig8": experiments.fig8_bcast_small,
+    "fig9": experiments.fig9_bcast_large,
+    "rdmc": experiments.rdmc_comparison,
+    "tab1": experiments.tab1_storage_iops,
+    "fig10": experiments.fig10_storage_latency,
+    "fig11": experiments.fig11_hpl,
+    "fig12": experiments.fig12_large_scale,
+    "fig13": experiments.fig13_loss,
+    "fig14": experiments.fig14_fairness,
+    "abl-ack": ablations.ablation_ack_trigger,
+    "abl-nack": ablations.ablation_nack_rule,
+    "abl-cnp": ablations.ablation_cnp_filter,
+    "abl-retx": ablations.ablation_retransmit_filter,
+    "abl-deploy": ablations.ablation_deployment,
+    "abl-mem": ablations.ablation_state_memory,
+}
+
+
+def run_experiments(names: List[str], quick: bool = True,
+                    stream=None) -> List[ExperimentResult]:
+    """Run the named experiments; prints each table as it completes."""
+    out = stream or sys.stdout
+    results = []
+    for name in names:
+        fn = ALL_EXPERIMENTS[name]
+        t0 = time.time()
+        res = fn(quick)
+        res.notes = (res.notes + " | " if res.notes else "") + \
+            f"wall {time.time() - t0:.1f}s ({'quick' if quick else 'full'})"
+        results.append(res)
+        print(format_table(res), file=out)
+        print(file=out)
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="Cepheus evaluation harness")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale parameters (slow)")
+    parser.add_argument("--only", default="",
+                        help="comma-separated experiment ids")
+    args = parser.parse_args(argv)
+    names = ([n.strip() for n in args.only.split(",") if n.strip()]
+             if args.only else list(ALL_EXPERIMENTS))
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; "
+                     f"have {sorted(ALL_EXPERIMENTS)}")
+    run_experiments(names, quick=not args.full)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

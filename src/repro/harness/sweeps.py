@@ -1,0 +1,74 @@
+"""Generic parameter sweeps for custom studies.
+
+The per-figure experiments hard-code the paper's parameters; this
+module provides the free-form counterpart: a cartesian sweep over
+message sizes, group sizes and broadcast engines, each point on a fresh
+cluster, collected into an :class:`~repro.harness.report.ExperimentResult`.
+
+Example
+-------
+>>> from repro.harness.sweeps import BcastSweep
+>>> sweep = BcastSweep(sizes=[4096, 1 << 20],
+...                    group_sizes=[4],
+...                    algorithms=["cepheus", "chain"])
+>>> res = sweep.run()                        # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.apps.cluster import Cluster
+from repro.apps.mpi import ALGORITHMS
+from repro.errors import ConfigurationError
+from repro.harness.report import ExperimentResult, fmt_size
+
+__all__ = ["BcastSweep"]
+
+
+@dataclass
+class BcastSweep:
+    """Cartesian sweep: sizes x group sizes x algorithms."""
+
+    sizes: List[int]
+    group_sizes: List[int]
+    algorithms: List[str]
+    cluster_factory: Optional[Callable[[int], Cluster]] = None
+    title: str = "custom broadcast sweep"
+
+    def __post_init__(self) -> None:
+        unknown = [a for a in self.algorithms if a not in ALGORITHMS]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown algorithms {unknown}; have {sorted(ALGORITHMS)}")
+        if not self.sizes or not self.group_sizes:
+            raise ConfigurationError("sweep axes must be non-empty")
+
+    def _make_cluster(self, n: int) -> Cluster:
+        if self.cluster_factory is not None:
+            return self.cluster_factory(n)
+        return Cluster.testbed(n)
+
+    def run(self) -> ExperimentResult:
+        """Execute every point; each (group size, algorithm) pair reuses
+        one cluster across sizes (connection setup is untimed anyway)."""
+        res = ExperimentResult(
+            exp_id="sweep", title=self.title,
+            headers=["group", "size"] + [f"{a}_jct" for a in self.algorithms],
+        )
+        for n in self.group_sizes:
+            engines = {}
+            for alg in self.algorithms:
+                cl = self._make_cluster(n)
+                members = cl.host_ips[:n]
+                if len(members) < n:
+                    raise ConfigurationError(
+                        f"cluster provides {len(members)} hosts < group {n}")
+                engines[alg] = ALGORITHMS[alg](cl, members)
+            for size in self.sizes:
+                row: Dict[str, object] = {"group": n, "size": fmt_size(size)}
+                for alg in self.algorithms:
+                    row[f"{alg}_jct"] = engines[alg].run(size).jct
+                res.rows.append(row)
+        return res

@@ -1,0 +1,64 @@
+"""Bidirectional link wiring helper.
+
+Links are not first-class simulation objects: each direction lives in
+the egress :class:`~repro.net.port.Port` of the sending device.  This
+module provides :func:`connect`, which wires two device ports together
+symmetrically with shared bandwidth/propagation parameters, and a small
+:class:`LinkInfo` record the topology layer keeps for introspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import constants
+from repro.errors import TopologyError
+
+__all__ = ["connect", "LinkInfo"]
+
+
+@dataclass(frozen=True)
+class LinkInfo:
+    """Descriptive record of one bidirectional link."""
+
+    dev_a: object
+    port_a: int
+    dev_b: object
+    port_b: int
+    bandwidth: float
+    propagation: float
+
+    def endpoint_names(self) -> str:
+        a = getattr(self.dev_a, "name", str(self.dev_a))
+        b = getattr(self.dev_b, "name", str(self.dev_b))
+        return f"{a}[{self.port_a}]<->{b}[{self.port_b}]"
+
+
+def connect(
+    dev_a,
+    port_a: int,
+    dev_b,
+    port_b: int,
+    *,
+    bandwidth: float = constants.LINK_BANDWIDTH_BPS,
+    propagation: float = constants.LINK_PROPAGATION_S,
+) -> LinkInfo:
+    """Wire ``dev_a.ports[port_a]`` and ``dev_b.ports[port_b]`` together.
+
+    Both devices must already expose the named ports (switches
+    pre-allocate their radix; NICs have port 0).  Raises
+    :class:`~repro.errors.TopologyError` when a port is already in use.
+    """
+    pa = dev_a.ports[port_a]
+    pb = dev_b.ports[port_b]
+    if pa.connected or pb.connected:
+        raise TopologyError(
+            f"port already connected: {pa if pa.connected else pb}"
+        )
+    pa.bandwidth = bandwidth
+    pa.propagation = propagation
+    pb.bandwidth = bandwidth
+    pb.propagation = propagation
+    pa.connect(dev_b, port_b)
+    pb.connect(dev_a, port_a)
+    return LinkInfo(dev_a, port_a, dev_b, port_b, bandwidth, propagation)

@@ -1,0 +1,106 @@
+"""Host NIC device.
+
+A :class:`Nic` is the host-side endpoint of the simulated fabric: one
+egress :class:`~repro.net.port.Port` toward the ToR switch, a QP demux
+table for RoCE traffic, PFC compliance, and a control-plane handler for
+out-of-band packets (MRP confirmations, connection setup).
+
+The RNIC behaviour itself (packetization, retransmission, DCQCN...)
+lives in :mod:`repro.transport`; the NIC only moves packets between the
+wire and the registered QPs — which mirrors the paper's constraint that
+the RNIC transport logic is fixed silicon that Cepheus must *reuse*,
+not modify.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro import constants
+from repro.errors import TransportError
+from repro.net.packet import Packet, PacketType
+from repro.net.port import Port
+from repro.net.simulator import Simulator
+
+__all__ = ["Nic"]
+
+
+class Nic:
+    """One host NIC with a single 100G port."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ip: int,
+        name: Optional[str] = None,
+        *,
+        queue_capacity: int = 256 * constants.SWITCH_QUEUE_BYTES,
+    ) -> None:
+        # The generous default reflects that an RNIC never tail-drops its
+        # own egress: WQEs wait in host memory and the per-QP outstanding
+        # window bounds what can be in flight.  Concurrent QPs therefore
+        # backpressure into this queue instead of losing packets.
+        self.sim = sim
+        self.ip = ip
+        self.name = name or f"host{ip}"
+        # ecn_kmin above capacity disables marking: an RNIC does not ECN-
+        # mark its own send queue (marking is a switch-egress behaviour).
+        self.ports: List[Port] = [
+            Port(self, 0, queue_capacity=queue_capacity, seed=ip,
+                 ecn_kmin=queue_capacity + 1, ecn_kmax=queue_capacity + 2)
+        ]
+        self._qps: Dict[int, object] = {}
+        self._next_qpn = 0x100
+        # Out-of-band traffic (MRP/CTRL) is handed to whoever registered.
+        self.control_handler: Optional[Callable[[Packet], None]] = None
+        self.rx_packets = 0
+        self.rx_unmatched = 0
+
+    # -- QP registry -----------------------------------------------------------
+
+    def allocate_qpn(self) -> int:
+        qpn = self._next_qpn
+        self._next_qpn += 1
+        return qpn
+
+    def register_qp(self, qpn: int, qp) -> None:
+        if qpn in self._qps:
+            raise TransportError(f"{self.name}: QPN {qpn} already registered")
+        self._qps[qpn] = qp
+
+    def deregister_qp(self, qpn: int) -> None:
+        self._qps.pop(qpn, None)
+
+    def get_qp(self, qpn: int):
+        return self._qps.get(qpn)
+
+    # -- wire I/O -----------------------------------------------------------------
+
+    def send(self, pkt: Packet) -> bool:
+        """Queue a packet on the NIC egress (honours PFC pause)."""
+        return self.ports[0].enqueue(pkt, -1)
+
+    @property
+    def egress_paused(self) -> bool:
+        return self.ports[0].paused
+
+    def receive(self, pkt: Packet, in_port: int) -> None:
+        ptype = pkt.ptype
+        if ptype in (PacketType.PAUSE, PacketType.RESUME):
+            self.ports[0].set_paused(ptype == PacketType.PAUSE)
+            return
+        self.rx_packets += 1
+        if ptype in (PacketType.MRP, PacketType.MRP_CONFIRM, PacketType.CTRL):
+            if self.control_handler is not None:
+                self.control_handler(pkt)
+            return
+        qp = self._qps.get(pkt.dst_qp)
+        if qp is None:
+            # Commodity RNIC behaviour: silently drop packets that match
+            # no local QP (this is what breaks native multicast, §II-D C1).
+            self.rx_unmatched += 1
+            return
+        qp.handle_packet(pkt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Nic {self.name} ip={self.ip}>"

@@ -1,0 +1,174 @@
+"""Packet model.
+
+A :class:`Packet` carries the union of the header fields the
+reproduction needs: Ethernet/IPv4 addressing, the RoCEv2 IB BTH
+(dstQP, PSN, opcode flags), the AETH for ACK/NACK, the RETH for
+one-sided WRITE, plus simulator-only metadata (creation time, ECN bit).
+
+Addresses are plain integers: host IPs are small ints handed out by the
+topology builder, and multicast group IDs (McstIDs) come from the
+reserved range at/above :data:`repro.constants.MCSTID_BASE` — the same
+trick the paper plays by using the McstID as a dstIP.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Optional
+
+from repro import constants
+
+__all__ = ["PacketType", "RdmaOp", "Packet", "is_multicast_ip"]
+
+_packet_ids = itertools.count()
+
+
+class PacketType(enum.IntEnum):
+    """Wire-level packet classification used by switches and NICs."""
+
+    DATA = 0          # RoCE data segment (SEND or WRITE)
+    ACK = 1           # RoCE AETH acknowledgement
+    NACK = 2          # RoCE AETH negative ack (carries ePSN)
+    CNP = 3           # DCQCN congestion notification packet
+    MRP = 4           # Cepheus MFT Registration Protocol (UDP)
+    MRP_CONFIRM = 5   # receiver -> controller membership confirmation
+    PAUSE = 6         # PFC pause frame (link-local)
+    RESUME = 7        # PFC resume frame (link-local)
+    CTRL = 8          # generic out-of-band control (connection setup...)
+
+
+class RdmaOp(enum.IntEnum):
+    """RDMA operation carried by DATA packets."""
+
+    SEND = 0
+    WRITE = 1
+
+
+def is_multicast_ip(ip: int) -> bool:
+    """True when ``ip`` is a McstID (reserved multicast range)."""
+    return ip >= constants.MCSTID_BASE
+
+
+class Packet:
+    """One simulated packet.
+
+    ``payload`` is a byte *count*, not bytes — the simulation is
+    timing-accurate, not data-accurate.  ``wire_size`` adds the fixed
+    per-type header overhead and is what links serialize.
+    """
+
+    __slots__ = (
+        "pid", "ptype", "src_ip", "dst_ip", "src_qp", "dst_qp",
+        "psn", "payload", "op", "msg_id", "first", "last",
+        "vaddr", "rkey", "ecn", "created_at", "retransmit",
+        "mrp", "meta", "hops",
+    )
+
+    def __init__(
+        self,
+        ptype: PacketType,
+        src_ip: int,
+        dst_ip: int,
+        *,
+        src_qp: int = 0,
+        dst_qp: int = 0,
+        psn: int = 0,
+        payload: int = 0,
+        op: RdmaOp = RdmaOp.SEND,
+        msg_id: int = 0,
+        first: bool = False,
+        last: bool = False,
+        vaddr: int = 0,
+        rkey: int = 0,
+        created_at: float = 0.0,
+        retransmit: bool = False,
+        mrp: Optional[Any] = None,
+        meta: Optional[Any] = None,
+    ) -> None:
+        self.pid = next(_packet_ids)
+        self.ptype = ptype
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+        self.src_qp = src_qp
+        self.dst_qp = dst_qp
+        self.psn = psn
+        self.payload = payload
+        self.op = op
+        self.msg_id = msg_id
+        self.first = first
+        self.last = last
+        self.vaddr = vaddr
+        self.rkey = rkey
+        self.ecn = False
+        self.created_at = created_at
+        self.retransmit = retransmit
+        self.mrp = mrp
+        self.meta = meta
+        self.hops = 0
+
+    # -- wire size ---------------------------------------------------------
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes occupying the wire, headers included."""
+        t = self.ptype
+        if t == PacketType.DATA:
+            extra = 16 if (self.op == RdmaOp.WRITE and self.first) else 0
+            return self.payload + constants.HEADER_BYTES + extra
+        if t in (PacketType.ACK, PacketType.NACK):
+            return constants.ACK_BYTES
+        if t == PacketType.CNP:
+            return constants.CNP_BYTES
+        if t in (PacketType.PAUSE, PacketType.RESUME):
+            return 64
+        if t in (PacketType.MRP, PacketType.MRP_CONFIRM):
+            return min(constants.MRP_MTU_BYTES, 64 + self.payload)
+        return 64 + self.payload
+
+    # -- replication -------------------------------------------------------
+
+    def clone(self) -> "Packet":
+        """Deep-enough copy for in-network replication.
+
+        A fresh ``pid`` is assigned; the Cepheus duplicator then rewrites
+        the addressing fields of each replica independently.
+        """
+        p = Packet(
+            self.ptype, self.src_ip, self.dst_ip,
+            src_qp=self.src_qp, dst_qp=self.dst_qp, psn=self.psn,
+            payload=self.payload, op=self.op, msg_id=self.msg_id,
+            first=self.first, last=self.last, vaddr=self.vaddr,
+            rkey=self.rkey, created_at=self.created_at,
+            retransmit=self.retransmit, mrp=self.mrp, meta=self.meta,
+        )
+        p.ecn = self.ecn
+        p.hops = self.hops
+        return p
+
+    # -- classification helpers --------------------------------------------
+
+    @property
+    def is_feedback(self) -> bool:
+        """ACK/NACK/CNP — the three feedback types Cepheus handles."""
+        return self.ptype in (PacketType.ACK, PacketType.NACK, PacketType.CNP)
+
+    @property
+    def is_mcast_data(self) -> bool:
+        """DATA addressed to a McstID (pre-bridging multicast stream)."""
+        return self.ptype == PacketType.DATA and is_multicast_ip(self.dst_ip)
+
+    @property
+    def is_mcast_feedback(self) -> bool:
+        """Feedback addressed to a McstID (srcIP was rewritten on data)."""
+        return self.is_feedback and is_multicast_ip(self.dst_ip)
+
+    def flow_hash(self) -> int:
+        """Flow-consistent hash used for ECMP uplink selection."""
+        return hash((self.src_ip, self.dst_ip, self.src_qp, self.dst_qp))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Packet #{self.pid} {self.ptype.name} {self.src_ip}->{self.dst_ip} "
+            f"qp{self.src_qp}->{self.dst_qp} psn={self.psn} len={self.payload}>"
+        )

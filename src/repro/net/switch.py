@@ -1,0 +1,176 @@
+"""Store-and-forward Ethernet switch.
+
+The switch owns its radix of :class:`~repro.net.port.Port` objects, a
+unicast FIB with ECMP groups, a :class:`~repro.net.pfc.PfcManager`, and
+— when the fabric is Cepheus-enabled — an attached accelerator that the
+receive path consults through an ACL-style classifier, mirroring the
+paper's deployment ("legacy Ethernet switches ... configured with ACL
+rules to direct multicast traffic towards the FPGA board").
+
+Random packet discard for the loss-tolerance experiments (§V-C) is a
+per-switch knob, applied on ingress as in the paper ("emulated via
+randomly discarding packets in the middle switches").
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro import constants
+from repro.errors import RoutingError
+from repro.net.packet import Packet, PacketType
+from repro.net.pfc import PfcManager
+from repro.net.port import Port
+from repro.net.simulator import Simulator
+
+__all__ = ["Switch", "SwitchConfig"]
+
+
+@dataclass
+class SwitchConfig:
+    """Per-switch tunables; defaults come from :mod:`repro.constants`."""
+
+    queue_capacity: int = constants.SWITCH_QUEUE_BYTES
+    ecn_kmin: int = constants.ECN_KMIN_BYTES
+    ecn_kmax: int = constants.ECN_KMAX_BYTES
+    ecn_pmax: float = constants.ECN_PMAX
+    pfc_enabled: bool = True
+    pfc_xoff: int = constants.PFC_XOFF_BYTES
+    pfc_xon: int = constants.PFC_XON_BYTES
+    loss_rate: float = 0.0
+    loss_applies_to_feedback: bool = False
+    accelerator_delay: float = constants.ACCELERATOR_DELAY_S
+    seed: int = 0
+
+
+class Switch:
+    """An output-queued switch with an optional Cepheus accelerator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        n_ports: int,
+        config: Optional[SwitchConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.n_ports = n_ports
+        self.config = config or SwitchConfig()
+        cfg = self.config
+        # Seeds derive from a stable digest (never the process-randomized
+        # str hash) so runs reproduce across interpreter invocations.
+        self.ports: List[Port] = [
+            Port(
+                self, i,
+                queue_capacity=cfg.queue_capacity,
+                ecn_kmin=cfg.ecn_kmin,
+                ecn_kmax=cfg.ecn_kmax,
+                ecn_pmax=cfg.ecn_pmax,
+                seed=zlib.crc32(f"{cfg.seed}:{name}:{i}".encode()),
+            )
+            for i in range(n_ports)
+        ]
+        self.pfc = PfcManager(
+            self, n_ports,
+            xoff_bytes=cfg.pfc_xoff, xon_bytes=cfg.pfc_xon,
+            enabled=cfg.pfc_enabled,
+        )
+        for p in self.ports:
+            p.ingress_of = self.pfc.on_dequeue
+        # FIB: dst_ip -> ECMP group (list of candidate egress ports).
+        self.fib: Dict[int, List[int]] = {}
+        # "host" or "switch" per port; topology fills this in.
+        self.port_kind: List[Optional[str]] = [None] * n_ports
+        self.accelerator = None  # set by CepheusFabric.attach()
+        self._rng = random.Random(zlib.crc32(f"{cfg.seed}:{name}:loss".encode()))
+        self.random_drops = 0
+        self.taildrops = 0
+        self.forwarded = 0
+
+    # -- FIB management -------------------------------------------------------
+
+    def add_route(self, dst_ip: int, ports: Sequence[int]) -> None:
+        """Install (or extend) the ECMP group for ``dst_ip``."""
+        group = self.fib.setdefault(dst_ip, [])
+        for p in ports:
+            if p not in group:
+                group.append(p)
+
+    def route_lookup(self, pkt: Packet) -> int:
+        """Pick the egress port for a unicast packet (flow-hash ECMP)."""
+        group = self.fib.get(pkt.dst_ip)
+        if not group:
+            raise RoutingError(f"{self.name}: no route for dst {pkt.dst_ip}")
+        if len(group) == 1:
+            return group[0]
+        return group[pkt.flow_hash() % len(group)]
+
+    def route_ports(self, dst_ip: int) -> List[int]:
+        """All candidate egress ports toward ``dst_ip`` (for MDT building)."""
+        group = self.fib.get(dst_ip)
+        if not group:
+            raise RoutingError(f"{self.name}: no route for dst {dst_ip}")
+        return list(group)
+
+    # -- receive path ---------------------------------------------------------
+
+    def receive(self, pkt: Packet, in_port: int) -> None:
+        ptype = pkt.ptype
+        if ptype in (PacketType.PAUSE, PacketType.RESUME):
+            self.pfc.handle_frame(pkt, in_port)
+            return
+        if self._should_randomly_drop(pkt):
+            self.random_drops += 1
+            return
+        if self.accelerator is not None and self.accelerator.classify(pkt):
+            # ACL redirect: the accelerator owns this packet from here.
+            delay = self.config.accelerator_delay
+            if delay > 0:
+                self.sim.schedule(delay, self.accelerator.process, pkt, in_port)
+            else:
+                self.accelerator.process(pkt, in_port)
+            return
+        self.emit(pkt, self.route_lookup(pkt), in_port)
+
+    def _should_randomly_drop(self, pkt: Packet) -> bool:
+        rate = self.config.loss_rate
+        if rate <= 0.0:
+            return False
+        if pkt.ptype == PacketType.DATA:
+            return self._rng.random() < rate
+        if pkt.is_feedback and self.config.loss_applies_to_feedback:
+            return self._rng.random() < rate
+        return False
+
+    # -- transmit path ----------------------------------------------------------
+
+    def emit(self, pkt: Packet, out_port: int, in_port: int = -1) -> bool:
+        """Queue ``pkt`` on ``out_port`` with PFC ingress accounting.
+
+        ``in_port`` of -1 marks locally generated packets (aggregated
+        ACKs, MRP fan-out) which do not contribute to PFC occupancy.
+        """
+        ok = self.ports[out_port].enqueue(pkt, in_port)
+        if ok:
+            self.forwarded += 1
+            self.pfc.on_enqueue(pkt, in_port)
+        return ok
+
+    def on_drop(self, pkt: Packet, port_index: int, reason: str) -> None:
+        """Callback from ports for tail-drops (kept for trace hooks)."""
+        self.taildrops += 1
+
+    # -- helpers ------------------------------------------------------------------
+
+    def host_ports(self) -> List[int]:
+        return [i for i, k in enumerate(self.port_kind) if k == "host"]
+
+    def is_host_port(self, index: int) -> bool:
+        return self.port_kind[index] == "host"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Switch {self.name} ports={self.n_ports}>"

@@ -1,0 +1,155 @@
+"""Telemetry: latency distributions, packet taps, queue-depth probes.
+
+The harness mostly reports completion times; for debugging and for the
+finer-grained studies (per-packet one-way delay under load, bottleneck
+queue dynamics) this module provides:
+
+* :class:`LatencyStats` — streaming percentile accumulator;
+* :class:`DeliveryTap` — wraps a QP's ingress to record per-packet
+  one-way delay (packets carry their creation timestamp);
+* :class:`QueueDepthProbe` — periodic sampler of a port's backlog with
+  a bounded lifetime (so a drained simulation still terminates);
+* :class:`PacketLog` — optional per-device forwarding log with a ring
+  bound, for post-mortem debugging of multicast trees.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.net.packet import Packet, PacketType
+from repro.net.port import Port
+from repro.net.simulator import Event, Simulator
+
+__all__ = ["LatencyStats", "DeliveryTap", "QueueDepthProbe", "PacketLog"]
+
+
+class LatencyStats:
+    """Accumulates samples; exact percentiles over the retained window.
+
+    Keeps at most ``max_samples`` (reservoir-free head retention is fine
+    for the deterministic simulations this instruments).
+    """
+
+    def __init__(self, max_samples: int = 1_000_000) -> None:
+        self._samples: List[float] = []
+        self.max_samples = max_samples
+        self.count = 0
+        self.total = 0.0
+        self.max_value = 0.0
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max_value:
+            self.max_value = value
+        if len(self._samples) < self.max_samples:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile of the retained samples (p in [0, 100])."""
+        if not self._samples:
+            return 0.0
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        ordered = sorted(self._samples)
+        rank = (p / 100) * (len(ordered) - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return ordered[lo]
+        frac = rank - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "max": self.max_value,
+        }
+
+
+class DeliveryTap:
+    """Records one-way delay of every DATA packet a QP receives."""
+
+    def __init__(self, qp) -> None:
+        self.qp = qp
+        self.stats = LatencyStats()
+        self._orig = qp.handle_packet
+        qp.handle_packet = self._tap
+
+    def _tap(self, pkt: Packet) -> None:
+        if pkt.ptype == PacketType.DATA:
+            self.stats.record(self.qp.sim.now - pkt.created_at)
+        self._orig(pkt)
+
+    def detach(self) -> None:
+        self.qp.handle_packet = self._orig
+
+
+class QueueDepthProbe:
+    """Samples a port's queued bytes every ``interval`` for ``duration``."""
+
+    def __init__(self, sim: Simulator, port: Port, *,
+                 interval: float = 10e-6, duration: float = 10e-3) -> None:
+        self.sim = sim
+        self.port = port
+        self.interval = interval
+        self.deadline = sim.now + duration
+        self.series: List[Tuple[float, int]] = []
+        self._ev: Optional[Event] = None
+        self._tick()
+
+    def _tick(self) -> None:
+        self.series.append((self.sim.now, self.port.queued_bytes))
+        if self.sim.now + self.interval <= self.deadline:
+            self._ev = self.sim.schedule(self.interval, self._tick)
+        else:
+            self._ev = None
+
+    def stop(self) -> None:
+        if self._ev is not None:
+            self._ev.cancel()
+            self._ev = None
+
+    @property
+    def peak_bytes(self) -> int:
+        return max((b for _, b in self.series), default=0)
+
+    def mean_bytes(self) -> float:
+        if not self.series:
+            return 0.0
+        return sum(b for _, b in self.series) / len(self.series)
+
+
+class PacketLog:
+    """Bounded log of packets a device forwarded (attach to a switch)."""
+
+    def __init__(self, switch, max_entries: int = 10_000) -> None:
+        self.switch = switch
+        self.entries: Deque[Tuple[float, str, int, int, int]] = deque(
+            maxlen=max_entries)
+        self._orig = switch.emit
+        switch.emit = self._tap
+
+    def _tap(self, pkt: Packet, out_port: int, in_port: int = -1) -> bool:
+        self.entries.append(
+            (self.switch.sim.now, pkt.ptype.name, pkt.psn, in_port, out_port))
+        return self._orig(pkt, out_port, in_port)
+
+    def detach(self) -> None:
+        self.switch.emit = self._orig
+
+    def of_type(self, type_name: str) -> List[Tuple[float, str, int, int, int]]:
+        return [e for e in self.entries if e[1] == type_name]
+
+    def __len__(self) -> int:
+        return len(self.entries)

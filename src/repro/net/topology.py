@@ -1,0 +1,267 @@
+"""Topology builders and routing.
+
+Three shapes cover every experiment in the paper:
+
+* :func:`star` — the 4-server testbed (§IV): all hosts on one switch.
+* :func:`fat_tree` — the ns-3 simulation fabric (§V-C): a 3-layer
+  fat-tree with 1:1 oversubscription.  ``k=16`` yields the paper's
+  1024 servers; smaller ``k`` is used by the unit tests.
+* :func:`dumbbell` — two switches and a shared bottleneck link, used by
+  congestion-control unit tests.
+
+Routing is computed generically: a per-host BFS over the switch graph
+produces *all* equal-cost next hops, which become the FIB's ECMP groups.
+This matches structured fat-tree routing exactly while staying correct
+for arbitrary shapes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro import constants
+from repro.errors import TopologyError
+from repro.net.link import LinkInfo, connect
+from repro.net.nic import Nic
+from repro.net.simulator import Simulator
+from repro.net.switch import Switch, SwitchConfig
+
+__all__ = ["Topology", "star", "fat_tree", "dumbbell"]
+
+
+@dataclass
+class _Attachment:
+    switch: Switch
+    port: int
+
+
+class Topology:
+    """A wired network: switches, host NICs, links and routing state."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.switches: List[Switch] = []
+        self.nics: Dict[int, Nic] = {}
+        self.links: List[LinkInfo] = []
+        self._attachments: Dict[int, _Attachment] = {}
+        # switch adjacency: switch -> list of (port, neighbor switch)
+        self._adj: Dict[Switch, List[Tuple[int, Switch]]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_switch(self, name: str, n_ports: int,
+                   config: Optional[SwitchConfig] = None,
+                   layer: str = "edge") -> Switch:
+        sw = Switch(self.sim, name, n_ports, config)
+        sw.layer = layer
+        self.switches.append(sw)
+        self._adj[sw] = []
+        return sw
+
+    def add_host(self, ip: int, name: Optional[str] = None) -> Nic:
+        if ip in self.nics:
+            raise TopologyError(f"duplicate host ip {ip}")
+        nic = Nic(self.sim, ip, name)
+        self.nics[ip] = nic
+        return nic
+
+    def wire_switches(self, a: Switch, pa: int, b: Switch, pb: int,
+                      *, bandwidth: float = constants.LINK_BANDWIDTH_BPS,
+                      propagation: float = constants.LINK_PROPAGATION_S) -> None:
+        info = connect(a, pa, b, pb, bandwidth=bandwidth, propagation=propagation)
+        self.links.append(info)
+        a.port_kind[pa] = "switch"
+        b.port_kind[pb] = "switch"
+        self._adj[a].append((pa, b))
+        self._adj[b].append((pb, a))
+
+    def attach_host(self, nic: Nic, sw: Switch, port: int,
+                    *, bandwidth: float = constants.LINK_BANDWIDTH_BPS,
+                    propagation: float = constants.LINK_PROPAGATION_S) -> None:
+        info = connect(sw, port, nic, 0, bandwidth=bandwidth, propagation=propagation)
+        self.links.append(info)
+        sw.port_kind[port] = "host"
+        self._attachments[nic.ip] = _Attachment(sw, port)
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def host_ips(self) -> List[int]:
+        return sorted(self.nics)
+
+    def nic(self, ip: int) -> Nic:
+        return self.nics[ip]
+
+    def leaf_of(self, ip: int) -> Tuple[Switch, int]:
+        """The (edge switch, port) a host hangs off."""
+        att = self._attachments.get(ip)
+        if att is None:
+            raise TopologyError(f"unknown host ip {ip}")
+        return att.switch, att.port
+
+    def switches_in_layer(self, layer: str) -> List[Switch]:
+        return [s for s in self.switches if getattr(s, "layer", None) == layer]
+
+    def set_loss_rate(self, rate: float, layers: Tuple[str, ...] = ("agg", "core")) -> None:
+        """Inject random loss at 'middle switches' (paper §V-C setup)."""
+        targets = [s for s in self.switches if getattr(s, "layer", None) in layers]
+        if not targets:  # single-switch topologies: inject at the only layer
+            targets = self.switches
+        for sw in targets:
+            sw.config.loss_rate = rate
+
+    # -- routing --------------------------------------------------------------
+
+    def build_routes(self) -> None:
+        """Fill every switch FIB with equal-cost next hops per host."""
+        for ip in self.nics:
+            att = self._attachments.get(ip)
+            if att is None:
+                raise TopologyError(f"host {ip} was never attached")
+            dist = self._bfs_from(att.switch)
+            att.switch.add_route(ip, [att.port])
+            for sw, d in dist.items():
+                if sw is att.switch:
+                    continue
+                ports = [p for p, nb in self._adj[sw] if dist.get(nb, 1 << 30) == d - 1]
+                if not ports:
+                    raise TopologyError(
+                        f"{sw.name} cannot reach host {ip} (disconnected)")
+                sw.add_route(ip, ports)
+
+    def _bfs_from(self, root: Switch) -> Dict[Switch, int]:
+        dist = {root: 0}
+        q = deque([root])
+        while q:
+            cur = q.popleft()
+            for _, nb in self._adj[cur]:
+                if nb not in dist:
+                    dist[nb] = dist[cur] + 1
+                    q.append(nb)
+        return dist
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+
+def star(
+    sim: Simulator,
+    n_hosts: int,
+    *,
+    bandwidth: float = constants.LINK_BANDWIDTH_BPS,
+    propagation: float = constants.LINK_PROPAGATION_S,
+    switch_config: Optional[SwitchConfig] = None,
+) -> Topology:
+    """All hosts on a single switch — the paper's 4-server testbed."""
+    topo = Topology(sim)
+    sw = topo.add_switch("sw0", n_hosts, switch_config, layer="edge")
+    for i in range(n_hosts):
+        nic = topo.add_host(i + 1)
+        topo.attach_host(nic, sw, i, bandwidth=bandwidth, propagation=propagation)
+    topo.build_routes()
+    return topo
+
+
+def fat_tree(
+    sim: Simulator,
+    k: int,
+    *,
+    bandwidth: float = constants.LINK_BANDWIDTH_BPS,
+    propagation: float = constants.LINK_PROPAGATION_S,
+    switch_config: Optional[SwitchConfig] = None,
+    hosts_limit: Optional[int] = None,
+) -> Topology:
+    """Standard 3-layer k-ary fat-tree (1:1 oversubscription).
+
+    ``k`` pods, each with ``k/2`` edge and ``k/2`` aggregation switches;
+    ``(k/2)^2`` cores; ``k^3/4`` hosts.  ``k=16`` reproduces the paper's
+    1024-server fabric.  ``hosts_limit`` optionally attaches only the
+    first N hosts (cheaper small experiments on a big fabric shape).
+    """
+    if k % 2 != 0 or k < 2:
+        raise TopologyError(f"fat-tree k must be even and >= 2, got {k}")
+    half = k // 2
+    topo = Topology(sim)
+
+    def cfg() -> Optional[SwitchConfig]:
+        if switch_config is None:
+            return None
+        # Each switch gets its own config copy so loss injection can be
+        # targeted per layer without aliasing.
+        return SwitchConfig(**vars(switch_config))
+
+    cores = [
+        topo.add_switch(f"core{i}", k, cfg(), layer="core")
+        for i in range(half * half)
+    ]
+    edges: List[List[Switch]] = []
+    aggs: List[List[Switch]] = []
+    for pod in range(k):
+        edges.append([
+            topo.add_switch(f"edge{pod}_{e}", k, cfg(), layer="edge")
+            for e in range(half)
+        ])
+        aggs.append([
+            topo.add_switch(f"agg{pod}_{a}", k, cfg(), layer="agg")
+            for a in range(half)
+        ])
+        # edge <-> agg full bipartite inside the pod
+        for e, esw in enumerate(edges[pod]):
+            for a, asw in enumerate(aggs[pod]):
+                # edge uplinks occupy ports [half, k); agg down-ports [0, half)
+                topo.wire_switches(esw, half + a, asw, e,
+                                   bandwidth=bandwidth, propagation=propagation)
+        # agg <-> core
+        for a, asw in enumerate(aggs[pod]):
+            for c in range(half):
+                core = cores[a * half + c]
+                topo.wire_switches(asw, half + c, core, pod,
+                                   bandwidth=bandwidth, propagation=propagation)
+
+    total_hosts = k * half * half
+    n_hosts = total_hosts if hosts_limit is None else min(hosts_limit, total_hosts)
+    ip = 1
+    for pod in range(k):
+        for e, esw in enumerate(edges[pod]):
+            for h in range(half):
+                if ip > n_hosts:
+                    break
+                nic = topo.add_host(ip)
+                topo.attach_host(nic, esw, h,
+                                 bandwidth=bandwidth, propagation=propagation)
+                ip += 1
+    topo.build_routes()
+    return topo
+
+
+def dumbbell(
+    sim: Simulator,
+    n_left: int,
+    n_right: int,
+    *,
+    bandwidth: float = constants.LINK_BANDWIDTH_BPS,
+    bottleneck: Optional[float] = None,
+    propagation: float = constants.LINK_PROPAGATION_S,
+    switch_config: Optional[SwitchConfig] = None,
+) -> Topology:
+    """Two switches joined by one (optionally slower) bottleneck link."""
+    topo = Topology(sim)
+    left = topo.add_switch("left", n_left + 1, switch_config, layer="edge")
+    right = topo.add_switch("right", n_right + 1, switch_config, layer="edge")
+    topo.wire_switches(left, n_left, right, n_right,
+                       bandwidth=bottleneck or bandwidth,
+                       propagation=propagation)
+    ip = 1
+    for i in range(n_left):
+        nic = topo.add_host(ip)
+        topo.attach_host(nic, left, i, bandwidth=bandwidth, propagation=propagation)
+        ip += 1
+    for i in range(n_right):
+        nic = topo.add_host(ip)
+        topo.attach_host(nic, right, i, bandwidth=bandwidth, propagation=propagation)
+        ip += 1
+    topo.build_routes()
+    return topo

@@ -1,0 +1,21 @@
+"""RoCE RC transport model: QPs, go-back-N, DCQCN, verbs facade.
+
+This package stands in for the non-programmable ConnectX-5 RNIC
+transport the paper builds on (§II-B): Cepheus reuses it unchanged, so
+nothing in :mod:`repro.core` is allowed to modify these classes — only
+to feed them a unicast-looking packet stream.
+"""
+
+from repro.transport.dcqcn import DcqcnConfig, DcqcnRateController
+from repro.transport.memory import MemoryRegion, MrTable
+from repro.transport.qp import QpStateName, RecvState, SendMessage
+from repro.transport.roce import RoceConfig, RoceQP
+from repro.transport.verbs import CompletionQueue, VerbsContext
+
+__all__ = [
+    "DcqcnConfig", "DcqcnRateController",
+    "MemoryRegion", "MrTable",
+    "QpStateName", "RecvState", "SendMessage",
+    "RoceConfig", "RoceQP",
+    "CompletionQueue", "VerbsContext",
+]

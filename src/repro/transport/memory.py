@@ -1,0 +1,71 @@
+"""Memory regions for one-sided RDMA WRITE.
+
+The simulation is timing-accurate rather than data-accurate, so a
+memory region is just an (address, length, rkey) record.  What matters
+for Cepheus is the *check*: a responder RNIC only executes a WRITE whose
+RETH matches a local MR ("The WRITE responder's RNIC checks whether the
+WRITE request matches its local MR and only executes the request when
+they match", §III-B) — that check is why the Cepheus leaf switch must
+rewrite the RETH per receiver, and the tests exercise it both ways.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import MemoryRegionError
+
+__all__ = ["MemoryRegion", "MrTable"]
+
+_rkeys = itertools.count(0x1000)
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """One registered memory region."""
+
+    addr: int
+    length: int
+    rkey: int
+
+    def contains(self, addr: int, length: int) -> bool:
+        return self.addr <= addr and addr + length <= self.addr + self.length
+
+
+class MrTable:
+    """Per-host registry of memory regions, keyed by rkey."""
+
+    def __init__(self) -> None:
+        self._regions: Dict[int, MemoryRegion] = {}
+        self._next_addr = 0x1000_0000
+        self.write_hits = 0
+        self.write_misses = 0
+
+    def register(self, length: int, addr: Optional[int] = None) -> MemoryRegion:
+        """Register a region of ``length`` bytes; returns the MR with rkey."""
+        if length <= 0:
+            raise MemoryRegionError(f"invalid MR length {length}")
+        if addr is None:
+            addr = self._next_addr
+            self._next_addr += length + 0x1000
+        mr = MemoryRegion(addr, length, next(_rkeys))
+        self._regions[mr.rkey] = mr
+        return mr
+
+    def deregister(self, rkey: int) -> None:
+        self._regions.pop(rkey, None)
+
+    def lookup(self, rkey: int) -> Optional[MemoryRegion]:
+        return self._regions.get(rkey)
+
+    def validate_write(self, rkey: int, addr: int, length: int) -> bool:
+        """The responder-side RETH check; counts hits/misses for tests."""
+        mr = self._regions.get(rkey)
+        ok = mr is not None and mr.contains(addr, length)
+        if ok:
+            self.write_hits += 1
+        else:
+            self.write_misses += 1
+        return ok

@@ -1,0 +1,64 @@
+"""Queue-pair state containers.
+
+The mutable protocol engine lives in :mod:`repro.transport.roce`; this
+module holds the passive state types: the QP lifecycle states from the
+IB spec (collapsed to the ones the simulation distinguishes), the
+send-queue message records, and receive-side reassembly state.
+
+PSNs are modelled as unbounded integers rather than 24-bit wrapping
+counters: no experiment in the paper sends anywhere near 2^24 packets
+per QP, and unbounded PSNs keep every min/ordering comparison in the
+Cepheus feedback aggregation trivially correct.  (A production switch
+implements the same comparisons with serial-number arithmetic.)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.net.packet import RdmaOp
+
+__all__ = ["QpStateName", "SendMessage", "RecvState"]
+
+
+class QpStateName(enum.Enum):
+    """QP lifecycle (RESET -> RTS covers everything the model needs)."""
+
+    RESET = "reset"
+    RTS = "rts"        # connected: ready to send and receive
+    ERROR = "error"
+
+
+@dataclass
+class SendMessage:
+    """One posted work request occupying PSNs [first_psn, last_psn]."""
+
+    msg_id: int
+    size: int
+    op: RdmaOp
+    first_psn: int
+    last_psn: int
+    vaddr: int = 0
+    rkey: int = 0
+    posted_at: float = 0.0
+    on_complete: Optional[Callable[[int, float], None]] = None
+    on_sent: Optional[Callable[[int, float], None]] = None
+    meta: Any = None
+    sent_notified: bool = False
+
+    @property
+    def packet_count(self) -> int:
+        return self.last_psn - self.first_psn + 1
+
+
+@dataclass
+class RecvState:
+    """Receive-side reassembly of the in-order byte stream."""
+
+    cur_msg_id: Optional[int] = None
+    cur_bytes: int = 0
+    cur_write_valid: bool = True
+    messages_delivered: int = 0
+    bytes_delivered: int = 0

@@ -1,0 +1,499 @@
+"""RoCE RC protocol engine.
+
+This is the behavioural model of the commodity RNIC transport the paper
+reuses: MTU packetization, PSN sequencing, receiver-side ACK coalescing
+and NACK (ePSN) generation, sender-side go-back-N retransmission with a
+safeguard timeout, CNP generation at the notification point and DCQCN
+at the reaction point.  It deliberately implements *only* what Mellanox
+RC offers — no selective retransmission, no multicast awareness —
+because Cepheus' whole premise is to leave this layer untouched.
+
+A multicast member in Cepheus uses exactly this class: its QP is
+connected to the *virtual* remote ``<McstID, 0x1>`` and never learns it
+is part of a group.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Optional
+
+from repro import constants
+from repro.errors import QPStateError, TransportError
+from repro.net.nic import Nic
+from repro.net.packet import Packet, PacketType, RdmaOp
+from repro.net.simulator import Event, Simulator
+from repro.net.trace import ThroughputSampler
+from repro.transport.dcqcn import DcqcnConfig, DcqcnRateController
+from repro.transport.memory import MrTable
+from repro.transport.qp import QpStateName, RecvState, SendMessage
+
+__all__ = ["RoceConfig", "RoceQP"]
+
+_msg_ids = itertools.count(1)
+
+
+@dataclass
+class RoceConfig:
+    """Transport tunables (defaults model a ConnectX-5).
+
+    ``retransmit_mode`` selects the loss-recovery discipline:
+
+    * ``"gbn"`` — go-back-N, the CX-5 behaviour the paper evaluates
+      (and blames for Cepheus' limited loss tolerance, §V-C);
+    * ``"irn"`` — IRN-style selective repeat (Mittal et al., SIGCOMM'18,
+      the paper's suggested remedy): receivers buffer out-of-order
+      packets and the sender retransmits only the missing PSN.  Distinct
+      losses recover serially per round trip (a simplification of IRN's
+      SACK bitmap; documented in docs/PROTOCOL.md).
+    """
+
+    mtu: int = constants.MTU_BYTES
+    ack_coalesce: int = constants.ROCE_ACK_COALESCE
+    rto: float = constants.ROCE_RTO_S
+    max_outstanding: int = constants.ROCE_MAX_OUTSTANDING_PKTS
+    line_rate: float = constants.LINK_BANDWIDTH_BPS
+    cnp_min_interval: float = constants.CNP_MIN_INTERVAL_S
+    dcqcn: Optional[DcqcnConfig] = None
+    retransmit_mode: str = "gbn"
+    irn_retx_guard: float = 20e-6  # min gap between retransmits of one PSN
+
+
+class RoceQP:
+    """One RC queue pair: send engine + receive/responder engine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nic: Nic,
+        config: Optional[RoceConfig] = None,
+        mr_table: Optional[MrTable] = None,
+        qpn: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.nic = nic
+        self.cfg = config or RoceConfig()
+        self.mr_table = mr_table
+        self.qpn = nic.allocate_qpn() if qpn is None else qpn
+        nic.register_qp(self.qpn, self)
+        self.state = QpStateName.RESET
+        self.dst_ip: int = 0
+        self.dst_qp: int = 0
+
+        # --- send side -------------------------------------------------
+        self.sq_psn = 0            # next PSN to assign to a new WQE
+        self.snd_una = 0           # oldest unacknowledged PSN
+        self.snd_nxt = 0           # next PSN to put on the wire
+        self._send_msgs: Deque[SendMessage] = deque()
+        self._tx_event: Optional[Event] = None
+        self._next_allowed_tx = 0.0
+        self._max_sent = 0         # high-water mark: PSNs ever transmitted
+        self._rto_event: Optional[Event] = None
+        self.cc = DcqcnRateController(sim, self.cfg.line_rate, self.cfg.dcqcn)
+
+        # --- receive side ----------------------------------------------
+        self.rq_psn = 0            # expected PSN
+        self.recv = RecvState()
+        self._inorder_since_ack = 0
+        self._nack_pending = False
+        self._last_cnp_time = -1e9
+        # IRN state: receiver-side out-of-order buffer, sender-side
+        # selective-retransmit queue + per-PSN pacing guard.
+        self._ooo_buffer: Dict[int, Packet] = {}
+        self._retx_queue: Deque[int] = deque()
+        self._retx_last: Dict[int, float] = {}
+        self.on_message: Optional[Callable[[int, int, float, Any], None]] = None
+
+        # --- instrumentation ---------------------------------------------
+        self.tx_data_packets = 0
+        self.retransmitted_packets = 0
+        self.acks_sent = 0
+        self.nacks_sent = 0
+        self.cnps_sent = 0
+        self.acks_received = 0
+        self.nacks_received = 0
+        self.timeouts = 0
+        self.rx_sampler: Optional[ThroughputSampler] = None
+
+    # ------------------------------------------------------------------
+    # connection management (the verbs modify_qp path)
+    # ------------------------------------------------------------------
+
+    def connect(self, dst_ip: int, dst_qp: int) -> None:
+        """Transition to RTS against a remote <dstIP, dstQP>.
+
+        For Cepheus members the remote is the virtual
+        ``<McstID, 0x1>`` tuple — the RNIC cannot tell the difference,
+        which is the paper's point.
+        """
+        self.dst_ip = dst_ip
+        self.dst_qp = dst_qp
+        self.state = QpStateName.RTS
+
+    # ------------------------------------------------------------------
+    # verbs send path
+    # ------------------------------------------------------------------
+
+    def post_send(
+        self,
+        size: int,
+        *,
+        op: RdmaOp = RdmaOp.SEND,
+        vaddr: int = 0,
+        rkey: int = 0,
+        on_complete: Optional[Callable[[int, float], None]] = None,
+        on_sent: Optional[Callable[[int, float], None]] = None,
+        meta: Any = None,
+    ) -> int:
+        """Queue one message; returns its msg_id.
+
+        PSNs are assigned eagerly, exactly like a hardware send queue:
+        retransmission can then regenerate any PSN from the WQE list.
+        """
+        if self.state != QpStateName.RTS:
+            raise QPStateError(f"QP {self.qpn} not in RTS")
+        if size <= 0:
+            raise TransportError(f"invalid message size {size}")
+        mtu = self.cfg.mtu
+        npkts = (size + mtu - 1) // mtu
+        msg = SendMessage(
+            msg_id=next(_msg_ids), size=size, op=op,
+            first_psn=self.sq_psn, last_psn=self.sq_psn + npkts - 1,
+            vaddr=vaddr, rkey=rkey, posted_at=self.sim.now,
+            on_complete=on_complete, on_sent=on_sent, meta=meta,
+        )
+        self.sq_psn += npkts
+        self._send_msgs.append(msg)
+        self.cc.start()
+        self._pump()
+        return msg.msg_id
+
+    def post_write(self, size: int, vaddr: int, rkey: int, **kw) -> int:
+        """One-sided RDMA WRITE (sugar over :meth:`post_send`)."""
+        return self.post_send(size, op=RdmaOp.WRITE, vaddr=vaddr, rkey=rkey, **kw)
+
+    @property
+    def outstanding(self) -> int:
+        return self.snd_nxt - self.snd_una
+
+    @property
+    def send_idle(self) -> bool:
+        return self.snd_una == self.sq_psn and not self._send_msgs
+
+    # -- transmit pump -----------------------------------------------------
+
+    def _can_send(self) -> bool:
+        if self._retx_queue:
+            return self.state == QpStateName.RTS and bool(self._send_msgs)
+        return (
+            self.state == QpStateName.RTS
+            and self.snd_nxt < self.sq_psn
+            and self.outstanding < self.cfg.max_outstanding
+            and bool(self._send_msgs)
+        )
+
+    def _pump(self) -> None:
+        if self._tx_event is not None or not self._can_send():
+            return
+        delay = self._next_allowed_tx - self.sim.now
+        self._tx_event = self.sim.schedule(max(delay, 0.0), self._tx_one)
+
+    def _tx_one(self) -> None:
+        self._tx_event = None
+        if not self._can_send():
+            return
+        if self._retx_queue:
+            # IRN selective repeat: lost PSNs jump the line.
+            psn = self._retx_queue.popleft()
+            if psn < self.snd_una:  # acked meanwhile
+                self._pump()
+                return
+            pkt = self._packet_for(psn)
+            self.nic.send(pkt)
+            self.tx_data_packets += 1
+            self.retransmitted_packets += 1
+            self.cc.on_bytes_sent(pkt.wire_size)
+            rate = min(self.cc.rate, self.cfg.line_rate)
+            self._next_allowed_tx = self.sim.now + pkt.wire_size * 8.0 / rate
+            self._arm_rto()
+            self._pump()
+            return
+        pkt = self._packet_for(self.snd_nxt)
+        self.nic.send(pkt)
+        self.tx_data_packets += 1
+        if pkt.retransmit:
+            self.retransmitted_packets += 1
+        self.cc.on_bytes_sent(pkt.wire_size)
+        rate = min(self.cc.rate, self.cfg.line_rate)
+        self._next_allowed_tx = self.sim.now + pkt.wire_size * 8.0 / rate
+        self.snd_nxt += 1
+        if self.snd_nxt > self._max_sent:
+            self._max_sent = self.snd_nxt
+        if pkt.last and not pkt.retransmit:
+            # "Local send done": the WQE's last byte hit the wire.  MPI
+            # implementations chain the next blocking send off this, not
+            # off the remote ACK.
+            msg = self._msg_containing(pkt.psn)
+            if msg.on_sent is not None and not msg.sent_notified:
+                msg.sent_notified = True
+                msg.on_sent(msg.msg_id, self.sim.now)
+        self._arm_rto()
+        self._pump()
+
+    def _packet_for(self, psn: int) -> Packet:
+        msg = self._msg_containing(psn)
+        mtu = self.cfg.mtu
+        offset = (psn - msg.first_psn) * mtu
+        payload = min(mtu, msg.size - offset)
+        return Packet(
+            PacketType.DATA, self.nic.ip, self.dst_ip,
+            src_qp=self.qpn, dst_qp=self.dst_qp, psn=psn,
+            payload=payload, op=msg.op, msg_id=msg.msg_id,
+            first=(psn == msg.first_psn), last=(psn == msg.last_psn),
+            vaddr=msg.vaddr + offset, rkey=msg.rkey,
+            created_at=self.sim.now,
+            retransmit=(psn < self._max_sent),
+            meta=msg.meta,
+        )
+
+    def _msg_containing(self, psn: int) -> SendMessage:
+        for msg in self._send_msgs:
+            if msg.first_psn <= psn <= msg.last_psn:
+                return msg
+        raise TransportError(f"QP {self.qpn}: PSN {psn} matches no queued WQE")
+
+    # -- retransmission timer -------------------------------------------------
+
+    def _arm_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+        self._rto_event = self.sim.schedule(self.cfg.rto, self._on_rto)
+
+    def _cancel_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+
+    def _on_rto(self) -> None:
+        self._rto_event = None
+        if self.snd_una >= self.sq_psn:
+            return  # everything acked; stale timer
+        self.timeouts += 1
+        if self.cfg.retransmit_mode == "irn":
+            # Selective backstop: re-probe the oldest unacknowledged PSN.
+            if self.snd_una not in self._retx_queue:
+                self._retx_queue.append(self.snd_una)
+            self._retx_last[self.snd_una] = self.sim.now
+        else:
+            # Go-back-N from the oldest unacknowledged PSN.
+            self.snd_nxt = self.snd_una
+        self._next_allowed_tx = self.sim.now
+        self._arm_rto()
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # wire ingress (called by the NIC demux)
+    # ------------------------------------------------------------------
+
+    def handle_packet(self, pkt: Packet) -> None:
+        t = pkt.ptype
+        if t == PacketType.DATA:
+            self._handle_data(pkt)
+        elif t == PacketType.ACK:
+            self._handle_ack(pkt)
+        elif t == PacketType.NACK:
+            self._handle_nack(pkt)
+        elif t == PacketType.CNP:
+            self.cc.on_cnp()
+
+    # -- responder side ----------------------------------------------------
+
+    def _handle_data(self, pkt: Packet) -> None:
+        if pkt.ecn:
+            self._maybe_send_cnp()
+        if pkt.psn == self.rq_psn:
+            self._nack_pending = False
+            self.rq_psn += 1
+            self._deliver(pkt)
+            self._inorder_since_ack += 1
+            force_ack = pkt.last
+            # IRN: the gap just filled — drain the buffered run.
+            while self._ooo_buffer and self.rq_psn in self._ooo_buffer:
+                buffered = self._ooo_buffer.pop(self.rq_psn)
+                self.rq_psn += 1
+                self._deliver(buffered)
+                self._inorder_since_ack += 1
+                force_ack = force_ack or buffered.last
+            if force_ack or self._inorder_since_ack >= self.cfg.ack_coalesce:
+                self._send_ack()
+        elif pkt.psn < self.rq_psn:
+            # Duplicate (e.g. go-back-N overshoot, or an IRN retransmit
+            # another group member needed): re-ack, never re-deliver.
+            self._send_ack()
+        elif self.cfg.retransmit_mode == "irn":
+            # Selective repeat: buffer out of order, NACK the gap head on
+            # every arrival (the sender dedupes retransmits).
+            if pkt.psn not in self._ooo_buffer:
+                self._ooo_buffer[pkt.psn] = pkt
+            self._send_nack()
+        else:
+            # Sequence gap: one NACK per go-back-N round (CX-5 behaviour).
+            if not self._nack_pending:
+                self._nack_pending = True
+                self._send_nack()
+
+    def _deliver(self, pkt: Packet) -> None:
+        rs = self.recv
+        if pkt.first:
+            rs.cur_msg_id = pkt.msg_id
+            rs.cur_bytes = 0
+            rs.cur_write_valid = True
+            if pkt.op == RdmaOp.WRITE and self.mr_table is not None:
+                rs.cur_write_valid = self.mr_table.validate_write(
+                    pkt.rkey, pkt.vaddr, pkt.payload)
+        rs.cur_bytes += pkt.payload
+        if self.rx_sampler is not None:
+            self.rx_sampler.record(self.sim.now, pkt.payload)
+        if pkt.last:
+            rs.messages_delivered += 1
+            rs.bytes_delivered += rs.cur_bytes
+            if self.on_message is not None:
+                self.on_message(pkt.msg_id, rs.cur_bytes, self.sim.now, pkt.meta)
+            rs.cur_msg_id = None
+
+    def _send_ack(self) -> None:
+        self._inorder_since_ack = 0
+        self.acks_sent += 1
+        ack = Packet(
+            PacketType.ACK, self.nic.ip, self.dst_ip,
+            src_qp=self.qpn, dst_qp=self.dst_qp, psn=self.rq_psn - 1,
+            created_at=self.sim.now,
+        )
+        self.nic.send(ack)
+
+    def _send_nack(self) -> None:
+        self.nacks_sent += 1
+        nack = Packet(
+            PacketType.NACK, self.nic.ip, self.dst_ip,
+            src_qp=self.qpn, dst_qp=self.dst_qp, psn=self.rq_psn,
+            created_at=self.sim.now,
+        )
+        self.nic.send(nack)
+
+    def _maybe_send_cnp(self) -> None:
+        now = self.sim.now
+        if now - self._last_cnp_time < self.cfg.cnp_min_interval:
+            return
+        self._last_cnp_time = now
+        self.cnps_sent += 1
+        cnp = Packet(
+            PacketType.CNP, self.nic.ip, self.dst_ip,
+            src_qp=self.qpn, dst_qp=self.dst_qp, created_at=now,
+        )
+        self.nic.send(cnp)
+
+    # -- requester side (feedback processing) ----------------------------------
+
+    def _handle_ack(self, pkt: Packet) -> None:
+        self.acks_received += 1
+        new_una = pkt.psn + 1
+        if new_una > self.snd_una:
+            self.snd_una = new_una
+            if self.snd_nxt < self.snd_una:
+                self.snd_nxt = self.snd_una
+            self._complete_acked()
+            if len(self._retx_last) > 64:
+                self._retx_last = {p: t for p, t in self._retx_last.items()
+                                   if p >= self.snd_una}
+            if self.send_idle:
+                self._cancel_rto()
+                self.cc.stop()
+            else:
+                self._arm_rto()
+            self._pump()
+
+    def _handle_nack(self, pkt: Packet) -> None:
+        """ePSN semantics: everything below pkt.psn is acknowledged; the
+        stream must restart at pkt.psn (go-back-N)."""
+        self.nacks_received += 1
+        epsn = pkt.psn
+        if epsn > self.snd_una:
+            self.snd_una = epsn
+            self._complete_acked()
+        if self.cfg.retransmit_mode == "irn":
+            # Selective repeat: resend just the missing PSN, rate-guarded
+            # so repeated NACKs for one gap don't stampede.
+            if epsn >= self.snd_una and epsn < self.snd_nxt:
+                last = self._retx_last.get(epsn, -1e9)
+                if self.sim.now - last >= self.cfg.irn_retx_guard:
+                    self._retx_last[epsn] = self.sim.now
+                    if epsn not in self._retx_queue:
+                        self._retx_queue.append(epsn)
+            self._arm_rto()
+            self._pump()
+            return
+        # A NACK whose ePSN is below snd_una is stale (those PSNs are
+        # already acknowledged and their WQEs reaped); never rewind
+        # behind the acknowledged prefix.
+        target = max(epsn, self.snd_una)
+        if target < self.snd_nxt:
+            self.snd_nxt = target
+            self._next_allowed_tx = self.sim.now
+        self._arm_rto()
+        self._pump()
+
+    def _complete_acked(self) -> None:
+        while self._send_msgs and self._send_msgs[0].last_psn < self.snd_una:
+            msg = self._send_msgs.popleft()
+            if msg.on_complete is not None:
+                msg.on_complete(msg.msg_id, self.sim.now)
+
+    # ------------------------------------------------------------------
+    # PSN synchronization hooks (Cepheus source switching, §III-E)
+    # ------------------------------------------------------------------
+
+    def sync_as_new_source(self) -> None:
+        """New source: sqPSN <- rqPSN (and align the send pointers)."""
+        if not self.send_idle:
+            raise QPStateError("cannot switch source with unacked data")
+        self.sq_psn = self.snd_una = self.snd_nxt = self.rq_psn
+
+    def sync_as_old_source(self) -> None:
+        """Old source: rqPSN <- sqPSN."""
+        self.rq_psn = self.sq_psn
+        self._nack_pending = False
+        self._ooo_buffer.clear()
+
+    def abort_sends(self) -> None:
+        """Drop every queued and unacknowledged WQE without completing it.
+
+        Used by the safeguard fallback (§V-D) to stop a transfer the
+        fabric can no longer deliver.  The QP stays usable; the stream
+        position jumps to the end of the aborted WQEs so no stale
+        retransmission timer keeps the simulation alive.
+        """
+        self._send_msgs.clear()
+        self.snd_una = self.snd_nxt = self.sq_psn
+        self._retx_queue.clear()
+        self._retx_last.clear()
+        self._cancel_rto()
+        if self._tx_event is not None:
+            self._tx_event.cancel()
+            self._tx_event = None
+        self.cc.stop()
+
+    def close(self) -> None:
+        """Tear the QP down and cancel every timer."""
+        self.state = QpStateName.RESET
+        self._cancel_rto()
+        if self._tx_event is not None:
+            self._tx_event.cancel()
+            self._tx_event = None
+        self.cc.stop()
+        self.nic.deregister_qp(self.qpn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<RoceQP {self.nic.name}:{self.qpn} -> {self.dst_ip}:{self.dst_qp} "
+                f"una={self.snd_una} nxt={self.snd_nxt} sq={self.sq_psn} rq={self.rq_psn}>")

@@ -1,0 +1,104 @@
+"""Closed-form model sanity + validation against the packet engine."""
+
+import pytest
+
+from repro.analytic import (NetModel, binomial_jct, cepheus_jct, chain_jct,
+                            long_jct, rdmc_jct, unicast_jct)
+from repro.apps import Cluster
+from repro.collectives import (BinomialTreeBcast, CepheusBcast, ChainBcast,
+                               LongBcast, MultiUnicastBcast, RdmcBcast)
+
+NET = NetModel(hops=1)  # star topology
+MB = 1 << 20
+
+
+class TestModelShape:
+    def test_goodput_below_line_rate(self):
+        assert NET.goodput < NET.bandwidth
+
+    def test_cepheus_independent_of_group_size(self):
+        assert cepheus_jct(MB, 4, NET) == cepheus_jct(MB, 512, NET)
+
+    def test_bt_logarithmic(self):
+        j4 = binomial_jct(MB, 4, NET)
+        j16 = binomial_jct(MB, 16, NET)
+        j256 = binomial_jct(MB, 256, NET)
+        assert j16 / j4 == pytest.approx(2.0, rel=0.1)
+        assert j256 / j16 == pytest.approx(2.0, rel=0.1)
+
+    def test_chain_linear_in_members(self):
+        j4 = chain_jct(64, 4, NET, slices=1)
+        j64 = chain_jct(64, 64, NET, slices=1)
+        assert j64 / j4 > 10
+
+    def test_chain_slicing_approaches_wire_time(self):
+        size = 64 * MB
+        coarse = chain_jct(size, 4, NET, slices=1)
+        fine = chain_jct(size, 4, NET, slices=64)
+        assert fine < coarse
+        assert fine < 1.3 * NET.wire(size) + 1e-3
+
+    def test_unicast_linear_in_receivers(self):
+        assert unicast_jct(MB, 8, NET) > 2 * unicast_jct(MB, 4, NET)
+
+    def test_rdmc_steps_reflected(self):
+        one_block = rdmc_jct(MB, 8, NET, block_size=MB)
+        many_blocks = rdmc_jct(16 * MB, 8, NET, block_size=MB)
+        assert many_blocks > one_block
+
+    def test_ordering_matches_paper_large(self):
+        """Large-flow ranking: cepheus < chain < bt < unicast (n >= 8)."""
+        size, n = 256 * MB, 8
+        assert (cepheus_jct(size, n, NET)
+                < chain_jct(size, n, NET)
+                < binomial_jct(size, n, NET)
+                < unicast_jct(size, n, NET))
+
+    def test_ordering_matches_paper_small(self):
+        """Small-flow ranking: cepheus < bt < chain (n >= 8)."""
+        size, n = 64, 16
+        assert (cepheus_jct(size, n, NET)
+                < binomial_jct(size, n, NET)
+                < chain_jct(size, n, NET, slices=4))
+
+
+class TestValidationAgainstPacketEngine:
+    """The models must track the packet engine where Fig. 12 stitches
+    them in.  Tolerances reflect each model's documented accuracy."""
+
+    @pytest.mark.parametrize("n", [4, 8])
+    @pytest.mark.parametrize("size", [MB, 16 * MB])
+    def test_core_trio_tight(self, n, size):
+        cl = Cluster.testbed(n)
+        checks = [
+            (CepheusBcast, cepheus_jct, {}),
+            (BinomialTreeBcast, binomial_jct, {}),
+            (ChainBcast, chain_jct, {}),
+        ]
+        for cls, model, kw in checks:
+            sim_jct = cls(cl, cl.host_ips).run(size).jct
+            mod_jct = model(size, n, NET, **kw)
+            assert mod_jct == pytest.approx(sim_jct, rel=0.10), cls.name
+
+    def test_unicast_tight_at_large(self):
+        cl = Cluster.testbed(8)
+        sim_jct = MultiUnicastBcast(cl, cl.host_ips).run(16 * MB).jct
+        assert unicast_jct(16 * MB, 8, NET) == pytest.approx(sim_jct, rel=0.10)
+
+    def test_rdmc_coarse(self):
+        cl = Cluster.testbed(8)
+        sim_jct = RdmcBcast(cl, cl.host_ips).run(16 * MB).jct
+        assert rdmc_jct(16 * MB, 8, NET) == pytest.approx(sim_jct, rel=0.35)
+
+    def test_long_coarse(self):
+        cl = Cluster.testbed(8)
+        sim_jct = LongBcast(cl, cl.host_ips).run(16 * MB).jct
+        assert long_jct(16 * MB, 8, NET) == pytest.approx(sim_jct, rel=0.45)
+
+    def test_small_message_trio(self):
+        cl = Cluster.testbed(4)
+        for cls, model in ((CepheusBcast, cepheus_jct),
+                           (BinomialTreeBcast, binomial_jct),
+                           (ChainBcast, chain_jct)):
+            sim_jct = cls(cl, cl.host_ips).run(4096).jct
+            assert model(4096, 4, NET) == pytest.approx(sim_jct, rel=0.15)

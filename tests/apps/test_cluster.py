@@ -1,0 +1,79 @@
+"""Cluster facade: factories, QP-pair caching, stack model."""
+
+import pytest
+
+from repro import constants
+from repro.apps.cluster import Cluster, HostStackModel
+
+
+class TestFactories:
+    def test_testbed_shape(self):
+        cl = Cluster.testbed(4)
+        assert cl.host_ips == [1, 2, 3, 4]
+        assert len(cl.topo.switches) == 1
+        assert cl.fabric is not None
+
+    def test_fat_tree_factory(self):
+        cl = Cluster.fat_tree_cluster(4)
+        assert len(cl.host_ips) == 16
+        assert len(cl.fabric.accelerators) == 20
+
+    def test_cepheus_disabled(self):
+        cl = Cluster.testbed(4, cepheus=False)
+        assert cl.fabric is None
+        assert all(sw.accelerator is None for sw in cl.topo.switches)
+
+    def test_dumbbell_factory(self):
+        cl = Cluster.dumbbell_cluster(2, 2, bottleneck=10e9)
+        assert len(cl.host_ips) == 4
+
+    def test_every_host_has_context(self):
+        cl = Cluster.testbed(3)
+        assert set(cl.ctxs) == {1, 2, 3}
+
+
+class TestQpPairs:
+    def test_pair_is_cached(self):
+        cl = Cluster.testbed(4)
+        a1 = cl.qp_pair(1, 2)
+        a2 = cl.qp_pair(1, 2)
+        assert a1 == a2
+
+    def test_pair_symmetric_view(self):
+        cl = Cluster.testbed(4)
+        ab = cl.qp_pair(1, 2)
+        ba = cl.qp_pair(2, 1)
+        assert ab == (ba[1], ba[0])
+
+    def test_qp_to_directionality(self):
+        cl = Cluster.testbed(4)
+        q12 = cl.qp_to(1, 2)
+        q21 = cl.qp_to(2, 1)
+        assert q12.nic.ip == 1 and q12.dst_ip == 2
+        assert q21.nic.ip == 2 and q21.dst_ip == 1
+        assert q12.dst_qp == q21.qpn
+
+    def test_pairs_actually_communicate(self):
+        cl = Cluster.testbed(4)
+        got = []
+        cl.qp_to(2, 1).on_message = lambda *a: got.append(a)
+        cl.qp_to(1, 2).post_send(4096)
+        cl.run()
+        assert len(got) == 1
+
+
+class TestStackModel:
+    def test_defaults_from_constants(self):
+        s = HostStackModel()
+        assert s.send == constants.HOST_STACK_SEND_S
+        assert s.recv == constants.HOST_STACK_RECV_S
+        assert s.relay == pytest.approx(
+            s.send + s.recv + constants.HOST_STACK_RELAY_EXTRA_S)
+
+    def test_custom_stack_threads_through(self):
+        from repro.collectives import ChainBcast
+        fast = Cluster.testbed(4, stack=HostStackModel(0.0, 0.0, 0.0))
+        slow = Cluster.testbed(4, stack=HostStackModel(5e-6, 5e-6, 5e-6))
+        jf = ChainBcast(fast, fast.host_ips, slices=1).run(64).jct
+        js = ChainBcast(slow, slow.host_ips, slices=1).run(64).jct
+        assert js > jf + 30e-6  # 3 hops x (send+recv+relay penalties)

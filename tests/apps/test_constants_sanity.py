@@ -1,0 +1,79 @@
+"""Cross-constant consistency checks.
+
+These guard the calibration ledger (docs/CALIBRATION.md): relationships
+between constants that, if silently broken by a future edit, would
+invalidate experiment results in non-obvious ways.
+"""
+
+from repro import constants
+
+
+class TestFabricConsistency:
+    def test_ecn_band_below_pfc(self):
+        """DCQCN must see congestion before PFC pauses anything."""
+        assert constants.ECN_KMIN_BYTES < constants.ECN_KMAX_BYTES
+        assert constants.ECN_KMAX_BYTES < constants.PFC_XOFF_BYTES
+
+    def test_pfc_below_taildrop(self):
+        """PFC must engage long before the shared buffer overflows, even
+        with every port's ingress at XOFF."""
+        assert constants.PFC_XON_BYTES < constants.PFC_XOFF_BYTES
+        assert constants.PFC_XOFF_BYTES * 2 < constants.SWITCH_QUEUE_BYTES
+
+    def test_header_tax_under_two_percent(self):
+        tax = constants.HEADER_BYTES / (constants.MTU_BYTES +
+                                        constants.HEADER_BYTES)
+        assert tax < 0.02
+
+    def test_mcstid_range_clear_of_hosts(self):
+        """Host IPs are small ints; the multicast range must never
+        collide with any plausible fabric size."""
+        assert constants.MCSTID_BASE > 1 << 24
+
+
+class TestControlPlaneConsistency:
+    def test_mrp_record_arithmetic(self):
+        """Fig. 5: metadata + 183 records must fit the control MTU."""
+        from repro.core.mrp import _MRP_METADATA_BYTES, _MRP_NODE_BYTES
+        payload = (_MRP_METADATA_BYTES +
+                   constants.MRP_NODES_PER_PACKET * _MRP_NODE_BYTES)
+        assert payload <= constants.MRP_MTU_BYTES
+        assert payload + _MRP_NODE_BYTES > constants.MRP_MTU_BYTES - 100
+
+    def test_mft_memory_claim(self):
+        """The paper's 1K-groups bound with our (looser) encoding."""
+        assert constants.MFT_BYTES_PER_GROUP_64P * 1024 < 0.78e6
+
+
+class TestTransportConsistency:
+    def test_window_covers_bdp(self):
+        """The RC window must exceed the fabric BDP or healthy flows
+        would be window-limited."""
+        rtt = 8 * constants.LINK_PROPAGATION_S + 20e-6  # queueing slack
+        bdp_packets = constants.LINK_BANDWIDTH_BPS * rtt / 8 / \
+            constants.MTU_BYTES
+        assert constants.ROCE_MAX_OUTSTANDING_PKTS > bdp_packets
+
+    def test_rto_dwarfs_rtt(self):
+        assert constants.ROCE_RTO_S > 100 * 8 * constants.LINK_PROPAGATION_S
+
+    def test_cnp_interval_beats_alpha_timer(self):
+        """A persistently congested flow must receive CNPs faster than
+        alpha decays, or DCQCN never holds a reduced rate."""
+        assert constants.CNP_MIN_INTERVAL_S <= constants.DCQCN_ALPHA_TIMER_S
+
+    def test_host_stack_hierarchy(self):
+        """Relays must cost more than plain send+recv (the §II-C
+        premise behind every AMcast penalty)."""
+        assert constants.HOST_STACK_RELAY_EXTRA_S > 0
+        assert constants.HOST_STACK_SEND_S > 0
+        assert constants.HOST_STACK_RECV_S > 0
+
+
+class TestStorageConsistency:
+    def test_stack_is_the_bottleneck_at_8k(self):
+        """The paper's stated bottleneck: per-IO stack cost must exceed
+        the 8 KB wire time, or Table I's shape would invert."""
+        wire_8k = 8192 * 8 / constants.LINK_BANDWIDTH_BPS
+        cycle = constants.STORAGE_STACK_PER_IO_S
+        assert cycle > wire_8k

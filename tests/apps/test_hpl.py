@@ -1,0 +1,106 @@
+"""HPL phase model: grid validation, phase accounting, Fig. 11 bands."""
+
+import pytest
+
+from repro.apps import Cluster, HplConfig, HplModel
+from repro.errors import ConfigurationError
+
+SMALL = HplConfig(n=2048, nb=256)
+
+
+class TestValidation:
+    def test_empty_grid_rejected(self, testbed):
+        with pytest.raises(ConfigurationError):
+            HplModel(testbed, [])
+
+    def test_ragged_grid_rejected(self, testbed):
+        with pytest.raises(ConfigurationError):
+            HplModel(testbed, [[1, 2], [3]])
+
+    def test_grid_dimensions(self, testbed):
+        m = HplModel(testbed, [[1, 2], [3, 4]], SMALL)
+        assert (m.p, m.q) == (2, 2)
+
+
+class TestPhaseAccounting:
+    def test_1x4_has_no_rs(self, testbed):
+        r = HplModel(testbed, [[1, 2, 3, 4]], SMALL).run()
+        assert r.rs_comm == 0.0
+        assert r.pb_comm > 0.0
+        assert r.iterations == SMALL.n // SMALL.nb - 1
+
+    def test_4x1_has_no_pb(self, testbed):
+        r = HplModel(testbed, [[1], [2], [3], [4]], SMALL).run()
+        assert r.pb_comm == 0.0
+        assert r.rs_comm > 0.0
+
+    def test_2x2_has_both(self, testbed):
+        r = HplModel(testbed, [[1, 2], [3, 4]], SMALL).run()
+        assert r.pb_comm > 0.0 and r.rs_comm > 0.0
+
+    def test_total_is_sum_of_phases(self, testbed):
+        r = HplModel(testbed, [[1, 2, 3, 4]], SMALL).run()
+        assert r.total == pytest.approx(
+            r.pf_time + r.pb_comm + r.rs_comm + r.update_time)
+        assert r.others == pytest.approx(r.pf_time + r.update_time)
+
+    def test_compute_identical_across_schemes(self, testbed):
+        a = HplModel(testbed, [[1, 2, 3, 4]], SMALL,
+                     pb_algorithm="increasing-ring").run()
+        cl = Cluster.testbed(4)
+        b = HplModel(cl, [[1, 2, 3, 4]], SMALL, pb_algorithm="cepheus").run()
+        assert a.pf_time == pytest.approx(b.pf_time)
+        assert a.update_time == pytest.approx(b.update_time)
+
+
+class TestFig11Bands:
+    CFG = HplConfig(n=4096, nb=256)
+
+    def _run(self, grid, **kw):
+        cl = Cluster.testbed(4)
+        return HplModel(cl, grid, self.CFG, **kw).run()
+
+    def test_pb_acceleration(self):
+        base = self._run([[1, 2, 3, 4]], pb_algorithm="increasing-ring")
+        ceph = self._run([[1, 2, 3, 4]], pb_algorithm="cepheus")
+        comm_cut = 1 - ceph.pb_comm / base.pb_comm
+        jct_cut = 1 - ceph.total / base.total
+        assert 0.5 < comm_cut < 0.85     # paper: 67%
+        assert 0.06 < jct_cut < 0.20     # paper: 12%
+
+    def test_rs_mechanism(self):
+        """The paper-scale RS band (comm -18 %, JCT -4 % at N=8192) is
+        asserted by the fig11 benchmark; here we pin the *mechanism*:
+        at equal panel size the multicast half clearly beats long's
+        spread-roll, while the gather half is multicast-immune overhead
+        that long never pays."""
+        cl = Cluster.testbed(4)
+        m = HplModel(cl, [[1], [2], [3], [4]], self.CFG,
+                     rs_algorithm="cepheus")
+        nbytes = m._rs_bytes(self.CFG.n)
+        swap = m._run_rs_swap([1, 2, 3, 4], 0, nbytes)
+        ceph_bcast = m._col_comms[0].bcast(nbytes, root=0).jct
+        cl2 = Cluster.testbed(4)
+        m2 = HplModel(cl2, [[1], [2], [3], [4]], self.CFG,
+                      rs_algorithm="long")
+        long_bcast = m2._col_comms[0].bcast(nbytes, root=0).jct
+        assert swap > 0.0
+        assert ceph_bcast < 0.7 * long_bcast
+
+    def test_rs_gain_smaller_than_pb_gain(self):
+        """The asymmetry the paper explains (67 % vs 18 %): the RS
+        gather half cannot be multicast-accelerated."""
+        pb_base = self._run([[1, 2, 3, 4]], pb_algorithm="increasing-ring")
+        pb_ceph = self._run([[1, 2, 3, 4]], pb_algorithm="cepheus")
+        rs_base = self._run([[1], [2], [3], [4]], rs_algorithm="long")
+        rs_ceph = self._run([[1], [2], [3], [4]], rs_algorithm="cepheus")
+        pb_cut = 1 - pb_ceph.pb_comm / pb_base.pb_comm
+        rs_cut = 1 - rs_ceph.rs_comm / rs_base.rs_comm
+        assert pb_cut > rs_cut
+
+
+class TestSourceRotationInHpl:
+    def test_cepheus_pb_uses_one_group(self):
+        cl = Cluster.testbed(4)
+        HplModel(cl, [[1, 2, 3, 4]], SMALL, pb_algorithm="cepheus").run()
+        assert len(cl.fabric.groups) == 1  # rotated, never re-registered

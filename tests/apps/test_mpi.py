@@ -1,0 +1,56 @@
+"""MPI communicator facade."""
+
+import pytest
+
+from repro.apps import ALGORITHMS, Cluster, Communicator
+from repro.errors import ConfigurationError
+
+
+class TestCommunicator:
+    def test_registry_covers_all_engines(self):
+        assert set(ALGORITHMS) == {
+            "cepheus", "binomial", "chain", "increasing-ring", "long",
+            "rdmc", "multi-unicast",
+        }
+
+    def test_unknown_algorithm_rejected(self, testbed):
+        with pytest.raises(ConfigurationError):
+            Communicator(testbed, testbed.host_ips, "carrier-pigeon")
+
+    def test_bad_root_rejected(self, testbed):
+        comm = Communicator(testbed, testbed.host_ips, "chain")
+        with pytest.raises(ConfigurationError):
+            comm.bcast(64, root=9)
+
+    @pytest.mark.parametrize("alg", sorted(ALGORITHMS))
+    def test_every_engine_broadcasts(self, alg):
+        cl = Cluster.testbed(4)
+        comm = Communicator(cl, cl.host_ips, alg)
+        r = comm.bcast(1 << 16, root=0)
+        assert set(r.recv_times) == {2, 3, 4}
+
+    def test_cepheus_root_change_is_source_switch(self, testbed):
+        comm = Communicator(testbed, testbed.host_ips, "cepheus")
+        comm.bcast(4096, root=0)
+        assert len(testbed.fabric.groups) == 1
+        comm.bcast(4096, root=2)
+        assert len(testbed.fabric.groups) == 1  # no re-registration
+        assert comm._cepheus.coordinator.switch_count == 1
+
+    def test_amcast_root_change_builds_new_tree(self, testbed):
+        comm = Communicator(testbed, testbed.host_ips, "binomial")
+        comm.bcast(4096, root=0)
+        comm.bcast(4096, root=1)
+        assert len(comm._amcast) == 2
+
+    def test_bcast_counts(self, testbed):
+        comm = Communicator(testbed, testbed.host_ips, "chain")
+        for _ in range(3):
+            comm.bcast(64)
+        assert comm.bcast_count == 3
+
+    def test_rank_addressing(self, testbed):
+        comm = Communicator(testbed, [4, 3, 2, 1], "chain")
+        assert comm.ip_of(0) == 4
+        r = comm.bcast(64, root=0)
+        assert set(r.recv_times) == {1, 2, 3}

@@ -1,0 +1,64 @@
+"""Communicator reduce/allreduce extensions (§VIII)."""
+
+import pytest
+
+from repro.apps import Cluster, Communicator
+from repro.errors import ConfigurationError
+
+
+class TestCommunicatorReduce:
+    def test_cepheus_comm_defaults_to_in_network(self, testbed8):
+        comm = Communicator(testbed8, testbed8.host_ips, "cepheus")
+        r = comm.reduce(1 << 20)
+        wire = (1 << 20) * 8 / 100e9
+        assert r.duration < 1.5 * wire  # in-network: ~one wire-time
+
+    def test_amcast_comm_defaults_to_host_reduce(self, testbed8):
+        comm = Communicator(testbed8, testbed8.host_ips, "binomial")
+        r = comm.reduce(1 << 20)
+        wire = (1 << 20) * 8 / 100e9
+        assert r.duration > 2 * wire  # log2(8) combining rounds
+
+    def test_explicit_override(self, testbed8):
+        comm = Communicator(testbed8, testbed8.host_ips, "binomial")
+        fast = comm.reduce(1 << 20, in_network=True)
+        slow = comm.reduce(1 << 20, in_network=False)
+        assert fast.duration < slow.duration
+
+    def test_engines_cached(self, testbed8):
+        comm = Communicator(testbed8, testbed8.host_ips, "cepheus")
+        comm.reduce(4096)
+        comm.reduce(4096)
+        assert len(comm._reducers) == 1
+        assert len(testbed8.fabric.groups) <= 2  # bcast group + reduce group
+
+    def test_bad_root(self, testbed8):
+        comm = Communicator(testbed8, testbed8.host_ips, "cepheus")
+        with pytest.raises(ConfigurationError):
+            comm.reduce(64, root=42)
+
+    def test_rooted_at_other_rank(self, testbed8):
+        comm = Communicator(testbed8, testbed8.host_ips, "cepheus")
+        r = comm.reduce(1 << 16, root=3)
+        assert r.root == testbed8.host_ips[3]
+
+
+class TestCommunicatorAllreduce:
+    def test_default_strategy_follows_engine(self, testbed8):
+        comm = Communicator(testbed8, testbed8.host_ips, "cepheus")
+        assert comm.allreduce(1 << 20).strategy == "ps-cepheus"
+
+    def test_chain_engine_prefers_ring(self, testbed8):
+        comm = Communicator(testbed8, testbed8.host_ips, "chain")
+        assert comm.allreduce(1 << 20).strategy == "ring"
+
+    def test_explicit_strategy(self, testbed8):
+        comm = Communicator(testbed8, testbed8.host_ips, "cepheus")
+        r = comm.allreduce(1 << 20, strategy="ps-multi-unicast")
+        assert r.strategy == "ps-multi-unicast"
+
+    def test_engines_cached(self, testbed8):
+        comm = Communicator(testbed8, testbed8.host_ips, "cepheus")
+        comm.allreduce(4096)
+        comm.allreduce(8192)
+        assert len(comm._allreducers) == 1

@@ -1,0 +1,92 @@
+"""Storage replication: Table I IOPS and Fig. 10 latency claims."""
+
+import pytest
+
+from repro.apps import Cluster, ReplicatedStore
+from repro.apps.storage import StorageConfig
+from repro.errors import ConfigurationError
+
+
+def _store(scheme, servers=None, **kw):
+    cl = Cluster.testbed(4)
+    servers = servers or ([2] if scheme == "unicast" else [2, 3, 4])
+    return ReplicatedStore(cl, 1, servers, scheme, **kw)
+
+
+class TestValidation:
+    def test_unknown_scheme(self):
+        cl = Cluster.testbed(4)
+        with pytest.raises(ConfigurationError):
+            ReplicatedStore(cl, 1, [2], "carrier-pigeon")
+
+    def test_client_cannot_be_server(self):
+        cl = Cluster.testbed(4)
+        with pytest.raises(ConfigurationError):
+            ReplicatedStore(cl, 1, [1, 2], "multi-unicast")
+
+    def test_needs_servers(self):
+        cl = Cluster.testbed(4)
+        with pytest.raises(ConfigurationError):
+            ReplicatedStore(cl, 1, [], "unicast")
+
+    def test_copies_per_io(self):
+        assert _store("unicast").copies_per_io == 1
+        assert _store("multi-unicast").copies_per_io == 3
+        assert _store("cepheus").copies_per_io == 1
+
+
+class TestIops:
+    def test_unicast_matches_paper_band(self):
+        r = _store("unicast").run_iops(8192, n_ios=4000)
+        assert 1.0e6 < r.iops < 1.35e6  # paper: 1.188M
+
+    def test_three_unicasts_one_third(self):
+        r = _store("multi-unicast").run_iops(8192, n_ios=4000)
+        assert 0.33e6 < r.iops < 0.47e6  # paper: 0.413M
+
+    def test_cepheus_near_unicast(self):
+        uni = _store("unicast").run_iops(8192, n_ios=4000).iops
+        cep = _store("cepheus").run_iops(8192, n_ios=4000).iops
+        assert cep > 0.95 * uni  # paper: 1.167M vs 1.188M
+
+    def test_goodput_matches_iops(self):
+        r = _store("cepheus").run_iops(8192, n_ios=2000)
+        assert r.goodput_gbps == pytest.approx(
+            r.iops * 8192 * 8 / 1e9, rel=1e-6)
+
+    def test_queue_depth_respected(self):
+        cfg = StorageConfig(queue_depth=1)
+        r = _store("unicast", config=cfg).run_iops(8192, n_ios=500)
+        # QD1 is latency-bound, far below the QD32 pipeline rate.
+        assert r.iops < 0.5e6
+
+    def test_every_replica_lands(self):
+        store = _store("cepheus")
+        store.run_iops(8192, n_ios=1000)
+        for ip in (2, 3, 4):
+            assert store.cluster.ctx(ip).mr_table.write_hits == 1000
+            assert store.cluster.ctx(ip).mr_table.write_misses == 0
+
+
+class TestLatency:
+    def test_monotone_in_io_size(self):
+        store = _store("cepheus")
+        lats = [store.run_latency(s, samples=2) for s in (8192, 65536, 524288)]
+        assert lats == sorted(lats)
+
+    def test_cepheus_tracks_unicast(self):
+        for size in (8192, 524288):
+            uni = _store("unicast").run_latency(size, samples=2)
+            cep = _store("cepheus").run_latency(size, samples=2)
+            assert cep < 1.25 * uni
+
+    def test_reduction_vs_3unicasts_grows_with_size(self):
+        """Fig. 10: the gap widens as IO size increases (-23% -> -60%)."""
+        reds = []
+        for size in (8192, 524288):
+            three = _store("multi-unicast").run_latency(size, samples=2)
+            cep = _store("cepheus").run_latency(size, samples=2)
+            reds.append(1 - cep / three)
+        assert reds[0] > 0.1
+        assert reds[1] > reds[0]
+        assert reds[1] > 0.5

@@ -1,0 +1,74 @@
+"""BroadcastAlgorithm/BroadcastResult contract tests."""
+
+import pytest
+
+from repro.collectives.base import BroadcastAlgorithm, BroadcastResult
+from repro.errors import ConfigurationError
+
+
+class TestBroadcastResult:
+    def _result(self):
+        r = BroadcastResult(algorithm="x", root=1, size=1000, start=2.0)
+        r.recv_times = {2: 2.5, 3: 2.3, 4: 2.9}
+        return r
+
+    def test_jct_is_last_receiver(self):
+        assert self._result().jct == pytest.approx(0.9)
+
+    def test_min_recv_latency(self):
+        assert self._result().min_recv_latency == pytest.approx(0.3)
+
+    def test_receiver_latency(self):
+        assert self._result().receiver_latency(3) == pytest.approx(0.3)
+
+    def test_goodput(self):
+        r = self._result()
+        assert r.goodput_gbps() == pytest.approx(1000 * 8 / 0.9 / 1e9)
+
+    def test_empty_result_raises(self):
+        r = BroadcastResult(algorithm="x", root=1, size=1, start=0.0)
+        with pytest.raises(ConfigurationError):
+            _ = r.jct
+
+
+class TestAlgorithmContract:
+    def test_root_must_be_member(self, testbed):
+        from repro.collectives import ChainBcast
+        with pytest.raises(ConfigurationError):
+            ChainBcast(testbed, [1, 2], root=3)
+
+    def test_rank_zero_is_root(self, testbed):
+        from repro.collectives import ChainBcast
+        algo = ChainBcast(testbed, [2, 3, 4], root=3)
+        assert algo.ranks[0] == 3
+        assert set(algo.ranks) == {2, 3, 4}
+
+    def test_prepare_idempotent(self, testbed):
+        from repro.collectives import BinomialTreeBcast
+        algo = BinomialTreeBcast(testbed, testbed.host_ips)
+        algo.prepare()
+        pairs_before = len(testbed._pairs)
+        algo.prepare()
+        assert len(testbed._pairs) == pairs_before
+
+    def test_incomplete_run_detected(self, testbed):
+        """An engine whose receivers never finish must raise, not hang
+        silently with a partial result."""
+
+        class Broken(BroadcastAlgorithm):
+            name = "broken"
+
+            def _setup(self):
+                pass
+
+            def _launch(self, size, result):
+                pass  # never delivers anything
+
+        with pytest.raises(ConfigurationError, match="never completed"):
+            Broken(testbed, testbed.host_ips).run(64)
+
+    def test_events_accounted(self, testbed):
+        from repro.collectives import CepheusBcast
+        algo = CepheusBcast(testbed, testbed.host_ips)
+        r = algo.run(1 << 16)
+        assert r.events > 0

@@ -1,0 +1,85 @@
+"""Binomial tree broadcast."""
+
+import math
+
+import pytest
+
+from repro.collectives.binomial import BinomialTreeBcast, binomial_children
+from repro.errors import ConfigurationError
+
+
+class TestChildrenFunction:
+    def test_root_children_are_powers_of_two(self):
+        assert binomial_children(0, 8) == [1, 2, 4]
+        assert binomial_children(0, 16) == [1, 2, 4, 8]
+
+    def test_interior_nodes(self):
+        assert binomial_children(1, 8) == [3, 5]
+        assert binomial_children(2, 8) == [6]
+        assert binomial_children(3, 8) == [7]
+
+    def test_leaves_have_no_children(self):
+        for leaf in (5, 6, 7):
+            assert binomial_children(leaf, 8) == []
+
+    def test_non_power_of_two(self):
+        assert binomial_children(0, 6) == [1, 2, 4]
+        assert binomial_children(2, 6) == []
+        assert binomial_children(1, 6) == [3, 5]
+
+    def test_every_rank_has_exactly_one_parent(self):
+        for n in (2, 3, 5, 8, 13, 16, 33):
+            seen = {}
+            for r in range(n):
+                for c in binomial_children(r, n):
+                    assert c not in seen, f"rank {c} has two parents (n={n})"
+                    seen[c] = r
+            assert set(seen) == set(range(1, n))
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            binomial_children(8, 8)
+
+
+class TestBroadcast:
+    def test_all_receivers_get_message(self, testbed8):
+        r = BinomialTreeBcast(testbed8, testbed8.host_ips).run(1 << 16)
+        assert set(r.recv_times) == set(testbed8.host_ips[1:])
+
+    def test_non_default_root(self, testbed):
+        r = BinomialTreeBcast(testbed, testbed.host_ips, root=3).run(4096)
+        assert set(r.recv_times) == {1, 2, 4}
+
+    def test_logarithmic_rounds_for_small_messages(self):
+        """JCT grows ~log2(n): n=16 should take about 2x n=4's rounds,
+        nowhere near the 5x of a chain."""
+        from repro.apps import Cluster
+        jcts = {}
+        for n in (4, 16):
+            cl = Cluster.testbed(n)
+            jcts[n] = BinomialTreeBcast(cl, cl.host_ips).run(64).jct
+        assert jcts[16] / jcts[4] < 3.0
+
+    def test_large_message_root_bottleneck(self):
+        """For large messages the root transmits ceil(log2 n) copies:
+        JCT is at least that many serializations."""
+        from repro.apps import Cluster
+        cl = Cluster.testbed(8)
+        size = 16 << 20
+        r = BinomialTreeBcast(cl, cl.host_ips).run(size)
+        wire = size * 8 / 100e9
+        assert r.jct >= 3 * wire * 0.9
+
+    def test_rerunnable(self, testbed):
+        algo = BinomialTreeBcast(testbed, testbed.host_ips)
+        a = algo.run(4096)
+        b = algo.run(4096)
+        assert b.jct == pytest.approx(a.jct, rel=0.01)
+
+    def test_two_members_degenerate(self, testbed):
+        r = BinomialTreeBcast(testbed, [1, 2]).run(4096)
+        assert set(r.recv_times) == {2}
+
+    def test_single_member_rejected(self, testbed):
+        with pytest.raises(ConfigurationError):
+            BinomialTreeBcast(testbed, [1])

@@ -1,0 +1,107 @@
+"""The Cepheus broadcast primitive end-to-end."""
+
+import pytest
+
+from repro.apps import Cluster
+from repro.collectives import (BinomialTreeBcast, CepheusBcast, ChainBcast,
+                               MultiUnicastBcast)
+from repro.errors import ConfigurationError
+
+
+class TestBasics:
+    def test_delivers_to_all(self, testbed):
+        r = CepheusBcast(testbed, testbed.host_ips).run(1 << 20)
+        assert set(r.recv_times) == {2, 3, 4}
+        assert r.sender_done is not None
+
+    def test_requires_fabric(self):
+        cl = Cluster.testbed(4, cepheus=False)
+        with pytest.raises(ConfigurationError):
+            CepheusBcast(cl, cl.host_ips)
+
+    def test_one_qp_per_member(self, testbed):
+        algo = CepheusBcast(testbed, testbed.host_ips)
+        algo.prepare()
+        assert len(algo.qps) == 4  # exactly one RC connection per member
+
+    def test_registration_excluded_from_jct(self, testbed):
+        algo = CepheusBcast(testbed, testbed.host_ips)
+        algo.prepare()
+        t_reg = testbed.sim.now
+        r = algo.run(64)
+        assert r.start >= t_reg
+        assert r.jct < 10e-6  # pure data-path time
+
+    def test_repeat_runs_reuse_group(self, testbed):
+        algo = CepheusBcast(testbed, testbed.host_ips)
+        a = algo.run(8192)
+        b = algo.run(8192)
+        assert b.jct == pytest.approx(a.jct, rel=0.05)
+        assert len(testbed.fabric.groups) == 1
+
+    def test_receivers_all_within_one_replication(self, testbed):
+        """All receivers complete nearly simultaneously (one MDT)."""
+        r = CepheusBcast(testbed, testbed.host_ips).run(4 << 20)
+        spread = max(r.recv_times.values()) - min(r.recv_times.values())
+        assert spread < 2e-6
+
+
+class TestPerformanceClaims:
+    """The §V-A headline comparisons, asserted as bands."""
+
+    @pytest.fixture(scope="class")
+    def jcts(self):
+        out = {}
+        for size in (64, 64 << 20):
+            cl = Cluster.testbed(4)
+            out[size] = {
+                "cepheus": CepheusBcast(cl, cl.host_ips).run(size).jct,
+                "bt": BinomialTreeBcast(cl, cl.host_ips).run(size).jct,
+                "chain": ChainBcast(cl, cl.host_ips, slices=4).run(size).jct,
+                "unicast": MultiUnicastBcast(cl, cl.host_ips).run(size).jct,
+            }
+        return out
+
+    def test_small_message_vs_bt(self, jcts):
+        ratio = jcts[64]["bt"] / jcts[64]["cepheus"]
+        assert 2.0 <= ratio <= 4.0  # paper band 2.5-3.5
+
+    def test_small_message_vs_chain(self, jcts):
+        ratio = jcts[64]["chain"] / jcts[64]["cepheus"]
+        assert 3.0 <= ratio <= 5.5  # paper band 3-5.2
+
+    def test_large_message_vs_bt(self, jcts):
+        ratio = jcts[64 << 20]["bt"] / jcts[64 << 20]["cepheus"]
+        assert 1.8 <= ratio <= 3.2  # paper band 2-2.8
+
+    def test_large_message_vs_chain(self, jcts):
+        ratio = jcts[64 << 20]["chain"] / jcts[64 << 20]["cepheus"]
+        assert 1.3 <= ratio <= 2.8  # paper band
+
+    def test_near_line_rate_goodput(self, jcts):
+        size = 64 << 20
+        goodput = size * 8 / jcts[size]["cepheus"] / 1e9
+        assert goodput > 90  # multicast at ~unicast line rate
+
+    def test_beats_unicast_everywhere(self, jcts):
+        for size in jcts:
+            assert jcts[size]["cepheus"] < jcts[size]["unicast"]
+
+
+class TestSourceRotation:
+    def test_set_source_keeps_working(self, testbed):
+        algo = CepheusBcast(testbed, testbed.host_ips)
+        algo.run(8192)
+        algo.set_source(3)
+        r = algo.run(8192)
+        assert set(r.recv_times) == {1, 2, 4}
+        assert algo.coordinator.switch_count == 1
+
+    def test_rotation_does_not_reregister(self, testbed):
+        algo = CepheusBcast(testbed, testbed.host_ips)
+        algo.run(4096)
+        groups_before = len(testbed.fabric.groups)
+        for src in (2, 3, 4, 1):
+            algo.set_source(src)
+            algo.run(4096)
+        assert len(testbed.fabric.groups) == groups_before

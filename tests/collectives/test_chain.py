@@ -1,0 +1,77 @@
+"""Chain (pipelined) and increasing-ring broadcasts."""
+
+import pytest
+
+from repro.apps import Cluster
+from repro.collectives.chain import ChainBcast, IncreasingRingBcast
+from repro.errors import ConfigurationError
+
+
+class TestChain:
+    def test_delivers_to_all(self, testbed8):
+        r = ChainBcast(testbed8, testbed8.host_ips, slices=4).run(1 << 20)
+        assert set(r.recv_times) == set(testbed8.host_ips[1:])
+
+    def test_latency_linear_in_chain_length(self):
+        jcts = {}
+        for n in (4, 16):
+            cl = Cluster.testbed(n)
+            jcts[n] = ChainBcast(cl, cl.host_ips, slices=1).run(64).jct
+        # 15 hops vs 3 hops: ratio should be clearly super-logarithmic.
+        assert jcts[16] / jcts[4] > 3.0
+
+    def test_completion_order_follows_chain(self, testbed8):
+        r = ChainBcast(testbed8, testbed8.host_ips, slices=2).run(1 << 20)
+        ips = testbed8.host_ips
+        times = [r.recv_times[ip] for ip in ips[1:]]
+        assert times == sorted(times)
+
+    def test_more_slices_improve_large_message_jct(self):
+        cl = Cluster.testbed(8)
+        size = 32 << 20
+        j1 = ChainBcast(cl, cl.host_ips, slices=1).run(size).jct
+        j8 = ChainBcast(cl, cl.host_ips, slices=8).run(size).jct
+        assert j8 < j1 * 0.55
+
+    def test_slice_sizes_partition_message(self, testbed):
+        algo = ChainBcast(testbed, testbed.host_ips, slices=4)
+        sizes = algo._slice_sizes(32 * 1024 + 3)
+        assert sum(sizes) == 32 * 1024 + 3 and len(sizes) == 4
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_small_message_not_shredded(self, testbed):
+        """min_slice keeps small messages in one piece — nobody slices
+        a 1 KB message into per-byte fragments."""
+        algo = ChainBcast(testbed, testbed.host_ips, slices=8)
+        assert algo._slice_sizes(1003) == [1003]
+        assert algo._slice_sizes(3) == [3]
+        r = algo.run(3)
+        assert set(r.recv_times) == {2, 3, 4}
+
+    def test_min_slice_configurable(self, testbed):
+        algo = ChainBcast(testbed, testbed.host_ips, slices=8, min_slice=1)
+        assert algo._slice_sizes(3) == [1, 1, 1]
+
+    def test_invalid_slices(self, testbed):
+        with pytest.raises(ConfigurationError):
+            ChainBcast(testbed, testbed.host_ips, slices=0)
+
+    def test_rerun_consistent(self, testbed):
+        algo = ChainBcast(testbed, testbed.host_ips, slices=4)
+        a, b = algo.run(1 << 20), algo.run(1 << 20)
+        assert b.jct == pytest.approx(a.jct, rel=0.01)
+
+
+class TestIncreasingRing:
+    def test_is_unsliced_chain(self, testbed):
+        ring = IncreasingRingBcast(testbed, testbed.host_ips)
+        assert ring.slices == 1
+        assert ring.name == "increasing-ring"
+        r = ring.run(1 << 20)
+        assert set(r.recv_times) == {2, 3, 4}
+
+    def test_slower_than_sliced_chain_for_large(self, testbed):
+        size = 16 << 20
+        ring = IncreasingRingBcast(testbed, testbed.host_ips).run(size).jct
+        chain = ChainBcast(testbed, testbed.host_ips, slices=4).run(size).jct
+        assert chain < ring

@@ -1,0 +1,126 @@
+"""MPI collectives (§VIII many-to-many direction)."""
+
+import pytest
+
+from repro.apps import Cluster, Communicator
+from repro.collectives import (Allgather, Alltoall, Barrier, Gather, Scatter)
+from repro.errors import ConfigurationError
+
+
+class TestScatterGather:
+    def test_scatter_completes(self, testbed8):
+        r = Scatter(testbed8, testbed8.host_ips).run(1 << 18)
+        assert r.duration > 0 and r.rounds == 7
+
+    def test_scatter_serializes_at_root(self, testbed8):
+        """Distinct shards: the root's egress carries all n-1 of them."""
+        size = 4 << 20
+        r = Scatter(testbed8, testbed8.host_ips).run(size)
+        wire = size * 8 / 100e9
+        assert r.duration >= 7 * wire * 0.9
+
+    def test_gather_concurrent_senders(self, testbed8):
+        """Gather is root-ingress bound: ~n-1 shard times."""
+        size = 4 << 20
+        r = Gather(testbed8, testbed8.host_ips).run(size)
+        wire = size * 8 / 100e9
+        assert 7 * wire * 0.9 <= r.duration
+
+    def test_small_members_rejected(self, testbed):
+        with pytest.raises(ConfigurationError):
+            Scatter(testbed, [1])
+
+
+class TestAllgather:
+    def test_ring_completes(self, testbed8):
+        r = Allgather(testbed8, testbed8.host_ips, engine="ring").run(1 << 18)
+        assert r.rounds == 7
+
+    def test_cepheus_rotates_one_group(self):
+        cl = Cluster.testbed(8)
+        ag = Allgather(cl, cl.host_ips, engine="cepheus")
+        r = ag.run(1 << 18)
+        assert r.rounds == 8
+        assert len(cl.fabric.groups) == 1  # one MFT, 8 source switches
+
+    def test_engines_agree_on_magnitude(self):
+        durations = {}
+        for eng in ("ring", "cepheus"):
+            cl = Cluster.testbed(8)
+            durations[eng] = Allgather(cl, cl.host_ips,
+                                       engine=eng).run(1 << 20).duration
+        assert 0.3 < durations["cepheus"] / durations["ring"] < 3.0
+
+    def test_cepheus_wins_small_shards(self):
+        """Per-round latency: one MDT hop vs a full ring lap."""
+        durations = {}
+        for eng in ("ring", "cepheus"):
+            cl = Cluster.testbed(16)
+            durations[eng] = Allgather(cl, cl.host_ips,
+                                       engine=eng).run(64).duration
+        assert durations["cepheus"] < durations["ring"]
+
+    def test_unknown_engine(self, testbed):
+        with pytest.raises(ConfigurationError):
+            Allgather(testbed, testbed.host_ips, engine="warp")
+
+
+class TestAlltoall:
+    def test_completes_power_of_two(self, testbed8):
+        r = Alltoall(testbed8, testbed8.host_ips).run(1 << 16)
+        assert r.duration > 0
+
+    def test_completes_odd_group(self):
+        cl = Cluster.testbed(5)
+        r = Alltoall(cl, cl.host_ips).run(1 << 16)
+        assert r.duration > 0
+
+    def test_cost_scales_with_messages(self, testbed8):
+        small = Alltoall(testbed8, testbed8.host_ips).run(1 << 12).duration
+        cl = Cluster.testbed(8)
+        big = Alltoall(cl, cl.host_ips).run(1 << 20).duration
+        assert big > 5 * small
+
+
+class TestBarrier:
+    def test_dissemination_rounds(self, testbed8):
+        r = Barrier(testbed8, testbed8.host_ips).run()
+        assert r.rounds == 3  # ceil(log2 8)
+
+    def test_cepheus_barrier_two_phases(self):
+        cl = Cluster.testbed(8)
+        r = Barrier(cl, cl.host_ips, engine="cepheus").run()
+        assert r.rounds == 2
+
+    def test_cepheus_faster_at_scale(self):
+        durations = {}
+        for eng in ("dissemination", "cepheus"):
+            cl = Cluster.testbed(16)
+            durations[eng] = Barrier(cl, cl.host_ips, engine=eng).run().duration
+        assert durations["cepheus"] < durations["dissemination"]
+
+    def test_unknown_engine(self, testbed):
+        with pytest.raises(ConfigurationError):
+            Barrier(testbed, testbed.host_ips, engine="warp")
+
+
+class TestCommunicatorIntegration:
+    def test_all_ops_via_comm(self, testbed8):
+        comm = Communicator(testbed8, testbed8.host_ips, "cepheus")
+        assert comm.scatter(4096).duration > 0
+        assert comm.gather(4096).duration > 0
+        ag = comm.allgather(4096)
+        assert ag.engine == "cepheus"
+        assert comm.alltoall(4096).duration > 0
+        assert comm.barrier().engine == "cepheus"
+
+    def test_amcast_comm_uses_host_engines(self, testbed8):
+        comm = Communicator(testbed8, testbed8.host_ips, "binomial")
+        assert comm.allgather(4096).engine == "ring"
+        assert comm.barrier().engine == "dissemination"
+
+    def test_ops_cached(self, testbed8):
+        comm = Communicator(testbed8, testbed8.host_ips, "chain")
+        comm.barrier()
+        comm.barrier()
+        assert len([k for k in comm._ops if k[0] == "barrier"]) == 1

@@ -1,0 +1,107 @@
+"""Reduction primitives + allreduce compositions (§VIII extension)."""
+
+import pytest
+
+from repro.apps import Cluster
+from repro.collectives import (AllReduce, BinomialReduce, RingReduceScatter)
+from repro.collectives.reduce import REDUCE_COMPUTE_BPS
+from repro.errors import ConfigurationError
+
+
+class TestBinomialReduce:
+    def test_completes(self, testbed8):
+        r = BinomialReduce(testbed8, testbed8.host_ips).run(1 << 20)
+        assert r.done is not None and r.duration > 0
+
+    def test_combines_once_per_edge(self, testbed8):
+        """A reduction over N members needs exactly N-1 combines."""
+        r = BinomialReduce(testbed8, testbed8.host_ips).run(1 << 16)
+        assert r.combines == 7
+
+    def test_logarithmic_depth(self):
+        jcts = {}
+        for n in (4, 16):
+            cl = Cluster.testbed(n)
+            jcts[n] = BinomialReduce(cl, cl.host_ips).run(64).duration
+        assert jcts[16] / jcts[4] < 3.0
+
+    def test_compute_cost_counted(self, testbed):
+        size = 32 << 20
+        r = BinomialReduce(testbed, testbed.host_ips).run(size)
+        assert r.duration > size * 8 / REDUCE_COMPUTE_BPS
+
+    def test_custom_root(self, testbed):
+        r = BinomialReduce(testbed, testbed.host_ips, root=3).run(4096)
+        assert r.root == 3 and r.done is not None
+
+    def test_too_few_members(self, testbed):
+        with pytest.raises(ConfigurationError):
+            BinomialReduce(testbed, [1])
+
+
+class TestRingReduceScatter:
+    def test_completes(self, testbed8):
+        r = RingReduceScatter(testbed8, testbed8.host_ips).run(8 << 20)
+        assert r.done is not None
+
+    def test_combine_count(self, testbed):
+        """Each of N shards combines at N-1 stops: N(N-1) total."""
+        r = RingReduceScatter(testbed, testbed.host_ips).run(1 << 20)
+        assert r.combines == 4 * 3
+
+    def test_bandwidth_beats_binomial_at_scale(self):
+        cl = Cluster.testbed(8)
+        size = 64 << 20
+        ring = RingReduceScatter(cl, cl.host_ips).run(size).duration
+        bt = BinomialReduce(cl, cl.host_ips).run(size).duration
+        assert ring < bt
+
+    def test_tiny_vector(self, testbed):
+        r = RingReduceScatter(testbed, testbed.host_ips).run(2)
+        assert r.done is not None
+
+
+class TestAllReduce:
+    def test_unknown_strategy(self, testbed):
+        with pytest.raises(ConfigurationError):
+            AllReduce(testbed, testbed.host_ips, "magic")
+
+    def test_unknown_engine(self, testbed):
+        with pytest.raises(ConfigurationError):
+            AllReduce(testbed, testbed.host_ips, "ps-warp-drive")
+
+    @pytest.mark.parametrize("strategy",
+                             ["ring", "ps-cepheus", "ps-binomial",
+                              "ps-multi-unicast"])
+    def test_strategies_complete(self, strategy):
+        cl = Cluster.testbed(4)
+        r = AllReduce(cl, cl.host_ips, strategy).run(4 << 20)
+        assert r.total > 0
+        assert r.total == pytest.approx(r.reduce_time + r.distribute_time)
+
+    def test_cepheus_distribution_wins_among_ps(self):
+        """The paper's PS motivation: the distribution half collapses
+        to ~one wire-time with multicast."""
+        size = 32 << 20
+        totals = {}
+        for strat in ("ps-cepheus", "ps-binomial", "ps-multi-unicast"):
+            cl = Cluster.testbed(8)
+            totals[strat] = AllReduce(cl, cl.host_ips, strat).run(size)
+        assert totals["ps-cepheus"].distribute_time < \
+            0.5 * totals["ps-binomial"].distribute_time
+        assert totals["ps-cepheus"].total < totals["ps-binomial"].total
+        assert totals["ps-cepheus"].total < totals["ps-multi-unicast"].total
+
+    def test_cepheus_ps_competitive_with_ring(self):
+        """At large sizes PS+multicast is in ring-allreduce's league —
+        impossible with unicast distribution."""
+        size = 64 << 20
+        cl1, cl2 = Cluster.testbed(8), Cluster.testbed(8)
+        ps = AllReduce(cl1, cl1.host_ips, "ps-cepheus").run(size)
+        ring = AllReduce(cl2, cl2.host_ips, "ring").run(size)
+        assert ps.total < 1.3 * ring.total
+
+    def test_busbw(self):
+        cl = Cluster.testbed(4)
+        r = AllReduce(cl, cl.host_ips, "ps-cepheus").run(16 << 20)
+        assert 0 < r.busbw_gbps() < 100

@@ -1,0 +1,30 @@
+"""Shared fixtures for the Cepheus reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import Cluster
+from repro.net import Simulator, star
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def testbed() -> Cluster:
+    """The paper's 4-server single-switch testbed, Cepheus-enabled."""
+    return Cluster.testbed(4)
+
+
+@pytest.fixture
+def testbed8() -> Cluster:
+    return Cluster.testbed(8)
+
+
+@pytest.fixture
+def fat_tree_cluster() -> Cluster:
+    """A k=4 fat-tree (16 hosts, 20 switches), Cepheus-enabled."""
+    return Cluster.fat_tree_cluster(4)

@@ -1,0 +1,87 @@
+"""CepheusFabric: deployment, group lifecycle, partial acceleration."""
+
+import pytest
+
+from repro.apps import Cluster
+from repro.core.fabric import CepheusFabric
+from repro.errors import GroupError, RegistrationError
+from repro.net import Simulator, fat_tree
+
+
+class TestDeployment:
+    def test_accelerator_on_every_switch(self):
+        cl = Cluster.fat_tree_cluster(4)
+        assert len(cl.fabric.accelerators) == 20
+        assert all(sw.accelerator is not None for sw in cl.topo.switches)
+
+    def test_partial_deployment_predicate(self):
+        sim = Simulator()
+        topo = fat_tree(sim, 4)
+        fabric = CepheusFabric(topo, accelerated=lambda sw: sw.layer != "core")
+        assert len(fabric.accelerators) == 16
+        cores = topo.switches_in_layer("core")
+        assert all(sw.accelerator is None for sw in cores)
+
+    def test_agents_on_every_host(self):
+        cl = Cluster.testbed(4)
+        assert set(cl.fabric.agents) == {1, 2, 3, 4}
+
+
+class TestGroupLifecycle:
+    def test_mcstids_unique(self, testbed8):
+        ids = set()
+        for i in range(5):
+            qps = {ip: testbed8.ctx(ip).create_qp() for ip in (1, 2)}
+            g = testbed8.fabric.create_group(qps)
+            ids.add(g.mcst_id)
+        assert len(ids) == 5
+
+    def test_group_needs_two_members(self, testbed):
+        qp = testbed.ctx(1).create_qp()
+        with pytest.raises(GroupError):
+            testbed.fabric.create_group({1: qp})
+
+    def test_leader_must_be_member(self, testbed):
+        qps = {ip: testbed.ctx(ip).create_qp() for ip in (1, 2)}
+        with pytest.raises(GroupError):
+            testbed.fabric.create_group(qps, leader_ip=3)
+
+    def test_virtual_connect_applied(self, testbed):
+        from repro import constants
+        qps = {ip: testbed.ctx(ip).create_qp() for ip in (1, 2, 3)}
+        g = testbed.fabric.create_group(qps)
+        for qp in qps.values():
+            assert qp.dst_ip == g.mcst_id
+            assert qp.dst_qp == constants.VIRTUAL_DST_QP
+
+    def test_mdt_switches_lists_footprint(self):
+        cl = Cluster.fat_tree_cluster(4)
+        qps = {ip: cl.ctx(ip).create_qp() for ip in (1, 2)}
+        g = cl.fabric.create_group(qps, leader_ip=1)
+        cl.fabric.register_sync(g)
+        names = {a.switch.name for a in cl.fabric.mdt_switches(g.mcst_id)}
+        assert names == {"edge0_0"}  # both hosts share one rack
+
+    def test_total_mft_memory_grows_with_groups(self, testbed):
+        base = testbed.fabric.total_mft_memory()
+        qps = {ip: testbed.ctx(ip).create_qp() for ip in (1, 2, 3)}
+        g = testbed.fabric.create_group(qps)
+        testbed.fabric.register_sync(g)
+        assert testbed.fabric.total_mft_memory() > base
+
+
+class TestRegisterSync:
+    def test_failure_surfaces_as_exception(self, testbed):
+        qps = {ip: testbed.ctx(ip).create_qp() for ip in (1, 2)}
+        g = testbed.fabric.create_group(qps, leader_ip=1)
+        testbed.topo.nic(2).control_handler = None  # member unreachable
+        with pytest.raises(RegistrationError):
+            testbed.fabric.register_sync(g, timeout=1e-3)
+
+    def test_sequential_registrations(self, testbed8):
+        for leader in (1, 3, 5):
+            members = {ip: testbed8.ctx(ip).create_qp()
+                       for ip in (leader, leader + 1)}
+            g = testbed8.fabric.create_group(members, leader_ip=leader)
+            testbed8.fabric.register_sync(g)
+            assert g.registered

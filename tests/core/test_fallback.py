@@ -1,0 +1,106 @@
+"""Safeguard fallback (§V-D): registration failure + goodput collapse."""
+
+import pytest
+
+from repro import constants
+from repro.apps import Cluster
+from repro.collectives import CepheusBcast, ChainBcast
+from repro.core.accelerator import AcceleratorConfig
+from repro.core.fallback import SafeguardMonitor
+
+
+class TestMonitor:
+    def _transfer(self, loss=0.0):
+        cl = Cluster.testbed(2)
+        cl.topo.set_loss_rate(loss)
+        qa = cl.qp_to(1, 2)
+        return cl, qa
+
+    def test_healthy_transfer_never_trips(self):
+        cl, qa = self._transfer()
+        tripped = []
+        mon = SafeguardMonitor(cl.sim, qa, expected_bps=90e9,
+                               on_fallback=tripped.append)
+        qa.post_send(32 << 20)
+        mon.start()
+        cl.run()
+        assert tripped == [] and not mon.triggered
+
+    def test_collapsed_goodput_trips(self):
+        """A catastrophic loss rate starves snd_una: the watchdog fires."""
+        cl, qa = self._transfer(loss=0.4)
+        tripped = []
+        mon = SafeguardMonitor(cl.sim, qa, expected_bps=90e9,
+                               window=200e-6,
+                               on_fallback=tripped.append)
+        qa.post_send(32 << 20)
+        mon.start()
+        cl.run(until=20e-3)
+        assert mon.triggered
+        assert len(tripped) == 1
+        assert "Gbps" in tripped[0]
+
+    def test_trip_idempotent(self):
+        cl, qa = self._transfer()
+        count = []
+        mon = SafeguardMonitor(cl.sim, qa, expected_bps=90e9,
+                               on_fallback=count.append)
+        mon.trip("first")
+        mon.trip("second")
+        assert count == ["first"]
+        assert mon.trigger_reason == "first"
+
+    def test_monitor_stands_down_when_idle(self):
+        cl, qa = self._transfer()
+        mon = SafeguardMonitor(cl.sim, qa, expected_bps=90e9)
+        qa.post_send(4096)
+        mon.start()
+        cl.run()
+        assert cl.sim.peek_next_time() is None  # no orphaned timers
+
+
+class TestRegistrationFallback:
+    def test_falls_back_to_chain_when_mft_full(self):
+        cl = Cluster.testbed(4, accel_config=AcceleratorConfig(max_groups=0))
+        algo = CepheusBcast(cl, cl.host_ips)
+        r = algo.run(1 << 20)
+        assert algo.fell_back
+        assert "registration failed" in algo.fallback_reason
+        assert r.algorithm == "cepheus+fallback"
+        assert set(r.recv_times) == {2, 3, 4}
+
+    def test_fallback_jct_is_amcast_class(self):
+        """Fallback runs must look like Chain, not like Cepheus."""
+        size = 8 << 20
+        cl_ok = Cluster.testbed(4)
+        native = CepheusBcast(cl_ok, cl_ok.host_ips).run(size).jct
+        cl_chain = Cluster.testbed(4)
+        chain_jct = ChainBcast(cl_chain, cl_chain.host_ips,
+                               slices=4).run(size).jct
+        cl_bad = Cluster.testbed(4, accel_config=AcceleratorConfig(max_groups=0))
+        fallen = CepheusBcast(cl_bad, cl_bad.host_ips).run(size).jct
+        assert fallen > 1.2 * native
+        assert fallen == pytest.approx(chain_jct, rel=0.15)
+
+
+class TestMidFlightFallback:
+    def test_goodput_collapse_reissues_over_amcast(self):
+        """Accelerators vanish mid-flight (model of a fabric fault): the
+        watchdog trips and the payload is re-sent over Chain."""
+        cl = Cluster.testbed(4)
+        algo = CepheusBcast(cl, cl.host_ips, safeguard=True,
+                            expected_bps=90e9)
+        algo.prepare()
+
+        def sabotage():
+            # Unregister the group from the switch: multicast data and
+            # feedback now hit 'unregistered' drops -> zero goodput.
+            accel = cl.fabric.accelerators["sw0"]
+            accel.table.remove(algo.group.mcst_id)
+
+        cl.sim.schedule(50e-6, sabotage)
+        r = algo.run(64 << 20)
+        assert algo.fell_back
+        assert "goodput" in algo.fallback_reason
+        assert set(r.recv_times) == {2, 3, 4}
+        assert r.algorithm == "cepheus+fallback"

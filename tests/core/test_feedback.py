@@ -1,0 +1,211 @@
+"""FeedbackEngine unit tests — no simulator, pure state machine.
+
+These pin the three §III-D guarantees:
+1. an aggregated ACK(p) is emitted only when min over downstream paths
+   reaches p (and only on trigger-port progress);
+2. a NACK(e) is released only once every path acknowledged e-1
+   (no inter-covering);
+3. CNPs pass only from the most-congested port within an aging window.
+"""
+
+import pytest
+
+from repro import constants
+from repro.core.feedback import FeedbackConfig, FeedbackEngine
+from repro.core.mft import Mft, PathEntry
+from repro.net.packet import PacketType
+
+GID = constants.MCSTID_BASE
+
+
+def make_mft(ports=(0, 1, 2), upstream=7):
+    mft = Mft(GID, 8)
+    mft.add_entry(PathEntry(port=upstream, is_host=False))
+    mft.ack_out_port = upstream
+    for p in ports:
+        mft.add_entry(PathEntry(port=p, is_host=True))
+    return mft
+
+
+class TestAckAggregation:
+    def test_first_acks_do_not_emit_until_all_paths_heard(self):
+        eng, mft = FeedbackEngine(), make_mft()
+        assert eng.on_ack(mft, 0, 5) == []
+        assert eng.on_ack(mft, 1, 5) == []
+
+    def test_emit_when_min_advances(self):
+        eng, mft = FeedbackEngine(), make_mft()
+        eng.on_ack(mft, 0, 5)
+        eng.on_ack(mft, 1, 5)
+        out = eng.on_ack(mft, 2, 5)
+        assert out == [(PacketType.ACK, 5)]
+        assert mft.agg_ack_psn == 5
+
+    def test_aggregate_is_min_not_latest(self):
+        eng, mft = FeedbackEngine(), make_mft()
+        eng.on_ack(mft, 0, 9)
+        eng.on_ack(mft, 1, 3)
+        out = eng.on_ack(mft, 2, 20)
+        assert out == [(PacketType.ACK, 3)]
+
+    def test_guarantee_all_received_up_to_aggregate(self):
+        """Invariant 2 of DESIGN.md: agg ACK(p) => every path acked >= p."""
+        eng, mft = FeedbackEngine(), make_mft()
+        import random
+        rng = random.Random(0)
+        emitted = []
+        for _ in range(300):
+            port = rng.choice([0, 1, 2])
+            e = mft.entry(port)
+            psn = e.ack_psn + rng.randint(1, 4)
+            for ptype, p in eng.on_ack(mft, port, psn):
+                if ptype == PacketType.ACK:
+                    emitted.append(p)
+                    assert all(en.ack_psn >= p for en in
+                               mft.iter_downstream(mft.ack_out_port))
+        assert emitted == sorted(emitted)  # aggregate is monotonic
+
+    def test_trigger_port_suppresses_non_min_acks(self):
+        eng, mft = FeedbackEngine(), make_mft(ports=(0, 1))
+        eng.on_ack(mft, 0, 10)
+        eng.on_ack(mft, 1, 5)      # emits 5, tri -> port 1
+        assert mft.tri_port == 1
+        # fast path keeps ACKing: no emissions, no tri change
+        assert eng.on_ack(mft, 0, 11) == []
+        assert eng.on_ack(mft, 0, 12) == []
+        # min-owner progress emits
+        assert eng.on_ack(mft, 1, 12) == [(PacketType.ACK, 12)]
+
+    def test_tie_does_not_deadlock(self):
+        """Regression: both paths end at the same PSN; the trigger port
+        must follow the min owner or the final aggregate is lost."""
+        eng, mft = FeedbackEngine(), make_mft(ports=(0, 1))
+        eng.on_ack(mft, 0, 3)
+        eng.on_ack(mft, 1, 3)      # emits 3
+        eng.on_ack(mft, 0, 7)      # port 0 done
+        out = eng.on_ack(mft, 1, 7)
+        assert (PacketType.ACK, 7) in out
+
+    def test_ablation_no_trigger_emits_per_incoming_ack(self):
+        """Without the Trigger Condition the naive switch re-emits the
+        aggregate for every incoming ACK — the ACK-explosion baseline."""
+        eng = FeedbackEngine(FeedbackConfig(trigger_condition=False))
+        mft = make_mft(ports=(0, 1))
+        eng.on_ack(mft, 0, 1)
+        eng.on_ack(mft, 1, 1)
+        count = 0
+        for psn in range(2, 10):
+            count += len(eng.on_ack(mft, 0, psn))
+            count += len(eng.on_ack(mft, 1, psn))
+        # 8 genuine advances + 8 duplicate re-emissions.
+        assert count == 16
+
+    def test_trigger_condition_halves_emissions_vs_naive(self):
+        def run(trigger):
+            eng = FeedbackEngine(FeedbackConfig(trigger_condition=trigger))
+            mft = make_mft(ports=(0, 1))
+            for psn in range(0, 50):
+                eng.on_ack(mft, 0, psn)
+                eng.on_ack(mft, 1, psn)
+            return eng.acks_out
+
+        assert run(True) < run(False)
+
+    def test_ack_on_unknown_port_ignored(self):
+        eng, mft = FeedbackEngine(), make_mft(ports=(0,))
+        assert eng.on_ack(mft, 5, 3) == []
+
+    def test_ack_counters(self):
+        eng, mft = FeedbackEngine(), make_mft(ports=(0,))
+        eng.on_ack(mft, 0, 1)
+        assert eng.acks_in == 1 and eng.acks_out == 1
+
+
+class TestNackAggregation:
+    def test_nack_released_when_all_below_acked(self):
+        eng, mft = FeedbackEngine(), make_mft(ports=(0, 1))
+        # port 0 lost PSN 4: NACK(4) implies it has up to 3.
+        out = eng.on_nack(mft, 0, 4)
+        assert out == []           # port 1 not heard from yet
+        out = eng.on_ack(mft, 1, 3)
+        assert out == [(PacketType.NACK, 4)]
+        assert mft.me_psn is None  # history discarded after release
+
+    def test_no_inter_covering(self):
+        """R1 loses p4, R2 loses p9: the forwarded NACK must carry 4,
+        never 9 (invariant 3)."""
+        eng, mft = FeedbackEngine(), make_mft(ports=(0, 1))
+        out = []
+        out += eng.on_nack(mft, 1, 9)   # R2's later loss arrives first
+        out += eng.on_nack(mft, 0, 4)   # R1's earlier loss
+        nacks = [p for t, p in out if t == PacketType.NACK]
+        assert nacks == [4]
+
+    def test_min_epsn_tracked(self):
+        # Port 2 stays silent, so neither NACK can be released yet and
+        # MePSN must hold the minimum of the two ePSNs.
+        eng, mft = FeedbackEngine(), make_mft(ports=(0, 1, 2))
+        eng.on_nack(mft, 0, 9)
+        eng.on_nack(mft, 1, 4)
+        assert mft.me_psn == 4
+
+    def test_nack_implies_cumulative_ack(self):
+        eng, mft = FeedbackEngine(), make_mft(ports=(0, 1))
+        eng.on_nack(mft, 0, 6)
+        assert mft.entry(0).ack_psn == 5
+
+    def test_renack_after_release(self):
+        eng, mft = FeedbackEngine(), make_mft(ports=(0, 1))
+        eng.on_nack(mft, 0, 4)
+        eng.on_ack(mft, 1, 3)            # releases NACK(4)
+        out = eng.on_nack(mft, 0, 4)     # retransmission lost again
+        assert (PacketType.NACK, 4) in out
+
+    def test_ablation_forwards_immediately(self):
+        eng = FeedbackEngine(FeedbackConfig(nack_aggregation=False))
+        mft = make_mft(ports=(0, 1))
+        out = eng.on_nack(mft, 1, 9)
+        assert out == [(PacketType.NACK, 9)]  # inter-covering hazard
+
+
+class TestCnpFilter:
+    def test_first_cnp_passes(self):
+        eng, mft = FeedbackEngine(), make_mft()
+        assert eng.on_cnp(mft, 0, 0.0) == [(PacketType.CNP, 0)]
+
+    def test_less_congested_port_filtered(self):
+        eng, mft = FeedbackEngine(), make_mft()
+        for _ in range(5):
+            eng.on_cnp(mft, 0, 1e-6)
+        assert eng.on_cnp(mft, 1, 2e-6) == []
+
+    def test_most_congested_keeps_passing(self):
+        eng, mft = FeedbackEngine(), make_mft()
+        eng.on_cnp(mft, 1, 0.0)
+        for _ in range(4):
+            eng.on_cnp(mft, 0, 1e-6)   # port 0 becomes the hot link
+        assert mft.cnp_counters[0] > mft.cnp_counters[1]
+        assert eng.on_cnp(mft, 0, 2e-6) == [(PacketType.CNP, 0)]
+
+    def test_aging_window_resets(self):
+        eng = FeedbackEngine(FeedbackConfig(cnp_window=100e-6))
+        mft = make_mft()
+        for _ in range(10):
+            eng.on_cnp(mft, 0, 1e-6)
+        # after the window, the bottleneck can move to port 1
+        out = eng.on_cnp(mft, 1, 500e-6)
+        assert out == [(PacketType.CNP, 0)]
+        assert mft.cnp_counters == {1: 1}
+
+    def test_ablation_passes_everything(self):
+        eng = FeedbackEngine(FeedbackConfig(cnp_filter=False))
+        mft = make_mft()
+        outs = [eng.on_cnp(mft, p, 0.0) for p in (0, 1, 2, 0, 1, 2)]
+        assert all(o == [(PacketType.CNP, 0)] for o in outs)
+
+    def test_counters(self):
+        eng, mft = FeedbackEngine(), make_mft()
+        eng.on_cnp(mft, 0, 0.0)
+        eng.on_cnp(mft, 0, 1e-6)   # port 0 now clearly dominates
+        eng.on_cnp(mft, 1, 2e-6)   # filtered: less congested
+        assert eng.cnps_in == 3 and eng.cnps_out == 2

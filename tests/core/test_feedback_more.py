@@ -1,0 +1,122 @@
+"""Additional feedback-engine scenarios: deep trees, source switching,
+and pathological orderings."""
+
+import pytest
+
+from repro import constants
+from repro.core.feedback import FeedbackConfig, FeedbackEngine
+from repro.core.mft import Mft, PathEntry
+from repro.net.packet import PacketType
+
+GID = constants.MCSTID_BASE
+
+
+def make_mft(ports, upstream=7):
+    mft = Mft(GID, 8)
+    mft.add_entry(PathEntry(port=upstream, is_host=False))
+    mft.ack_out_port = upstream
+    for p in ports:
+        mft.add_entry(PathEntry(port=p, is_host=True))
+    return mft
+
+
+class TestHierarchicalComposition:
+    def test_two_level_aggregation_equals_flat(self):
+        """A leaf aggregating {A,B} feeding a spine aggregating
+        {leaf, C} must emit exactly what a flat {A,B,C} switch would."""
+        flat_eng = FeedbackEngine()
+        flat = make_mft(ports=(0, 1, 2))
+        leaf_eng = FeedbackEngine()
+        leaf = make_mft(ports=(0, 1), upstream=6)
+        spine_eng = FeedbackEngine()
+        spine = make_mft(ports=(3, 2), upstream=7)  # 3 <- leaf, 2 <- C
+
+        import random
+        rng = random.Random(42)
+        prefix = {0: 0, 1: 0, 2: 0}
+        flat_out, spine_out = [], []
+        for _ in range(400):
+            port = rng.choice([0, 1, 2])
+            prefix[port] += rng.randint(1, 3)
+            psn = prefix[port] - 1
+            flat_out += [p for t, p in flat_eng.on_ack(flat, port, psn)
+                         if t == PacketType.ACK]
+            if port == 2:
+                spine_out += [p for t, p in
+                              spine_eng.on_ack(spine, 2, psn)
+                              if t == PacketType.ACK]
+            else:
+                for t, agg in leaf_eng.on_ack(leaf, port, psn):
+                    if t == PacketType.ACK:
+                        spine_out += [p for tt, p in
+                                      spine_eng.on_ack(spine, 3, agg)
+                                      if tt == PacketType.ACK]
+        # Hierarchy may emit fewer intermediate points (coarser), but
+        # the cumulative guarantee must be identical: same final value
+        # and every spine emission is a valid flat-prefix point.
+        assert flat_out and spine_out
+        assert spine_out[-1] == flat_out[-1]
+        assert set(spine_out) <= set(range(min(flat_out), flat_out[-1] + 1))
+        assert spine_out == sorted(spine_out)
+
+
+class TestSourceSwitchFeedbackState:
+    def test_upstream_exclusion_follows_ack_out_port(self):
+        eng = FeedbackEngine()
+        mft = make_mft(ports=(0, 1), upstream=7)
+        eng.on_ack(mft, 0, 10)
+        eng.on_ack(mft, 1, 10)
+        assert mft.agg_ack_psn == 10
+        # Source moves behind port 0: now aggregate over {1, 7}.
+        mft.ack_out_port = 0
+        mft.tri_port = None
+        mft.entry(7).ack_psn = 12   # the old source path catches up
+        out = eng.on_ack(mft, 1, 12)
+        assert (PacketType.ACK, 12) in out
+
+    def test_stale_me_psn_not_released_for_old_stream(self):
+        eng = FeedbackEngine()
+        mft = make_mft(ports=(0, 1))
+        eng.on_nack(mft, 0, 5)
+        # Before port 1 confirms, the bottleneck moves past PSN 5 (e.g.
+        # the retransmission landed): a NACK(5) must not be re-released
+        # after the aggregate has moved beyond it.
+        eng.on_ack(mft, 0, 9)
+        out = eng.on_ack(mft, 1, 9)
+        nacks = [p for t, p in out if t == PacketType.NACK]
+        assert nacks == []
+        assert mft.agg_ack_psn == 9
+
+
+class TestPathologicalOrderings:
+    def test_ack_regression_ignored(self):
+        """A delayed, lower ACK must never shrink per-path state."""
+        eng = FeedbackEngine()
+        mft = make_mft(ports=(0,))
+        eng.on_ack(mft, 0, 50)
+        eng.on_ack(mft, 0, 10)  # stale reordered ACK
+        assert mft.entry(0).ack_psn == 50
+        assert mft.agg_ack_psn == 50
+
+    def test_duplicate_acks_emit_nothing_new(self):
+        eng = FeedbackEngine()
+        mft = make_mft(ports=(0, 1))
+        eng.on_ack(mft, 0, 5)
+        eng.on_ack(mft, 1, 5)
+        before = eng.acks_out
+        for _ in range(10):
+            eng.on_ack(mft, 0, 5)
+            eng.on_ack(mft, 1, 5)
+        assert eng.acks_out == before
+
+    def test_nack_storm_released_once(self):
+        eng = FeedbackEngine()
+        mft = make_mft(ports=(0, 1))
+        eng.on_ack(mft, 1, 3)
+        out = []
+        for _ in range(20):
+            out += eng.on_nack(mft, 0, 4)
+        nacks = [p for t, p in out if t == PacketType.NACK]
+        # one release per distinct MePSN episode, not per incoming NACK
+        assert 1 <= len(nacks) <= 20
+        assert all(p == 4 for p in nacks)

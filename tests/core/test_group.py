@@ -1,0 +1,96 @@
+"""MulticastGroup + McstID allocation unit tests."""
+
+import pytest
+
+from repro import constants
+from repro.core.group import McstIdAllocator, MemberRecord, MulticastGroup
+from repro.errors import GroupError
+from repro.net import Simulator, star
+from repro.transport.verbs import VerbsContext
+
+
+def _qps(n=4):
+    sim = Simulator()
+    topo = star(sim, n)
+    ctxs = {ip: VerbsContext(sim, topo.nic(ip)) for ip in topo.host_ips}
+    return {ip: ctxs[ip].create_qp() for ip in topo.host_ips}
+
+
+class TestAllocator:
+    def test_ids_in_reserved_range(self):
+        alloc = McstIdAllocator()
+        for _ in range(10):
+            gid = alloc.allocate()
+            assert gid >= constants.MCSTID_BASE
+
+    def test_ids_unique_and_monotonic(self):
+        alloc = McstIdAllocator()
+        ids = [alloc.allocate() for _ in range(100)]
+        assert ids == sorted(set(ids))
+
+
+class TestMembership:
+    def test_leader_defaults_to_first(self):
+        qps = _qps()
+        g = MulticastGroup(constants.MCSTID_BASE, qps)
+        assert g.leader_ip == next(iter(qps))
+        assert g.current_source == g.leader_ip
+
+    def test_explicit_leader(self):
+        qps = _qps()
+        g = MulticastGroup(constants.MCSTID_BASE, qps, leader_ip=3)
+        assert g.leader_ip == 3
+
+    def test_single_member_rejected(self):
+        qps = _qps(2)
+        with pytest.raises(GroupError):
+            MulticastGroup(constants.MCSTID_BASE, {1: qps[1]})
+
+    def test_foreign_leader_rejected(self):
+        qps = _qps()
+        with pytest.raises(GroupError):
+            MulticastGroup(constants.MCSTID_BASE, qps, leader_ip=99)
+
+    def test_receivers_excludes_source(self):
+        qps = _qps()
+        g = MulticastGroup(constants.MCSTID_BASE, qps)
+        assert set(g.receivers()) == {2, 3, 4}
+        g.current_source = 3
+        assert set(g.receivers()) == {1, 2, 4}
+
+    def test_qp_of_unknown(self):
+        qps = _qps()
+        g = MulticastGroup(constants.MCSTID_BASE, qps)
+        with pytest.raises(GroupError):
+            g.qp_of(77)
+
+    def test_size(self):
+        g = MulticastGroup(constants.MCSTID_BASE, _qps(3))
+        assert g.size == 3
+
+
+class TestMemberRecords:
+    def test_records_sorted_and_complete(self):
+        qps = _qps()
+        g = MulticastGroup(constants.MCSTID_BASE, qps,
+                           mr_info={2: (0x1000, 0x77)})
+        recs = g.member_records()
+        assert [r.ip for r in recs] == [1, 2, 3, 4]  # leader included
+        by_ip = {r.ip: r for r in recs}
+        assert by_ip[2].vaddr == 0x1000 and by_ip[2].rkey == 0x77
+        assert by_ip[3].vaddr == 0 and by_ip[3].rkey == 0
+        for ip, r in by_ip.items():
+            assert r.qpn == qps[ip].qpn
+
+    def test_records_are_frozen(self):
+        rec = MemberRecord(ip=1, qpn=0x100)
+        with pytest.raises(AttributeError):
+            rec.ip = 2
+
+    def test_connect_virtual_points_all_members(self):
+        qps = _qps()
+        g = MulticastGroup(constants.MCSTID_BASE + 5, qps)
+        g.connect_virtual()
+        for qp in qps.values():
+            assert qp.dst_ip == constants.MCSTID_BASE + 5
+            assert qp.dst_qp == constants.VIRTUAL_DST_QP

@@ -1,0 +1,145 @@
+"""Cross-module integration scenarios."""
+
+import pytest
+
+from repro import constants
+from repro.apps import Cluster
+from repro.collectives import CepheusBcast
+
+
+class TestMultiGroupCoexistence:
+    def test_many_groups_share_the_fabric(self, testbed8):
+        """Several MGs with different member sets run concurrently;
+        every stream stays isolated (McstID-indexed MFTs)."""
+        cl = testbed8
+        specs = [
+            ([1, 2, 3], 1),
+            ([4, 5, 6], 4),
+            ([1, 4, 7, 8], 7),
+        ]
+        algos = []
+        for members, root in specs:
+            algo = CepheusBcast(cl, members, root)
+            algo.prepare()
+            algos.append(algo)
+        results = {}
+        for i, algo in enumerate(algos):
+            counts = {}
+            for ip in algo.ranks:
+                if ip == algo.root:
+                    continue
+                algo.qps[ip].on_message = (
+                    lambda mid, sz, now, meta, _ip=ip, _c=counts:
+                    _c.__setitem__(_ip, _c.get(_ip, 0) + sz))
+            results[i] = counts
+            algo.qps[algo.root].post_send((i + 1) * constants.MTU_BYTES * 10)
+        cl.run()
+        for i, (members, root) in enumerate(specs):
+            expected = (i + 1) * constants.MTU_BYTES * 10
+            for ip in members:
+                if ip == root:
+                    continue
+                assert results[i][ip] == expected, (i, ip)
+
+    def test_group_count_on_switch(self, testbed8):
+        cl = testbed8
+        for root in (1, 2, 3):
+            CepheusBcast(cl, cl.host_ips, root).prepare()
+        accel = cl.fabric.accelerators["sw0"]
+        assert len(accel.table) == 3
+
+    def test_unicast_unaffected_by_multicast(self, testbed):
+        """A unicast flow coexists with a multicast on the same fabric
+        and still completes with full delivery."""
+        cl = testbed
+        algo = CepheusBcast(cl, [1, 2, 3])
+        algo.prepare()
+        got = {}
+        cl.qp_to(4, 1).on_message = \
+            lambda mid, sz, now, meta: got.setdefault("uni", sz)
+        cl.qp_to(1, 4).post_send(1 << 20)
+        algo.qps[1].post_send(1 << 20)
+        cl.run()
+        assert got["uni"] == 1 << 20
+        assert algo.qps[2].recv.bytes_delivered == 1 << 20
+
+
+class TestScaleRegression:
+    def test_64_member_multicast_on_k8(self):
+        """The Fig. 12 quick-scale configuration end-to-end."""
+        cl = Cluster.fat_tree_cluster(8)
+        members = cl.host_ips[:64]
+        algo = CepheusBcast(cl, members)
+        r = algo.run(1 << 20)
+        assert len(r.recv_times) == 63
+        spread = max(r.recv_times.values()) - min(r.recv_times.values())
+        assert spread < 20e-6  # all racks finish nearly together
+        # hierarchical state: no MFT anywhere exceeds the radix
+        for accel in cl.fabric.mdt_switches(algo.group.mcst_id):
+            assert len(accel.mft_of(algo.group.mcst_id).path_table) <= 16
+
+    def test_full_k4_fabric_membership(self):
+        """All 16 hosts of a k=4 fat-tree in one group."""
+        cl = Cluster.fat_tree_cluster(4)
+        algo = CepheusBcast(cl, cl.host_ips)
+        r = algo.run(4 * constants.MTU_BYTES)
+        assert len(r.recv_times) == 15
+
+
+class TestWriteMulticastIntegration:
+    def test_concurrent_write_streams(self, testbed):
+        """Multicast WRITEs from two groups land in the right MRs."""
+        cl = testbed
+        mrs_a = {ip: cl.ctx(ip).reg_mr(1 << 20) for ip in (2, 3)}
+        mrs_b = {ip: cl.ctx(ip).reg_mr(1 << 20) for ip in (3, 4)}
+        qps_a = {ip: cl.ctx(ip).create_qp() for ip in (1, 2, 3)}
+        qps_b = {ip: cl.ctx(ip).create_qp() for ip in (2, 3, 4)}
+        ga = cl.fabric.create_group(
+            qps_a, leader_ip=1,
+            mr_info={ip: (mr.addr, mr.rkey) for ip, mr in mrs_a.items()})
+        gb = cl.fabric.create_group(
+            qps_b, leader_ip=2,
+            mr_info={ip: (mr.addr, mr.rkey) for ip, mr in mrs_b.items()})
+        cl.fabric.register_sync(ga)
+        cl.fabric.register_sync(gb)
+        qps_a[1].post_write(8192, vaddr=0, rkey=0)
+        qps_b[2].post_write(8192, vaddr=0, rkey=0)
+        cl.run()
+        assert cl.ctx(2).mr_table.write_hits == 1   # group A only
+        assert cl.ctx(3).mr_table.write_hits == 2   # both groups
+        assert cl.ctx(4).mr_table.write_hits == 1   # group B only
+        assert all(cl.ctx(ip).mr_table.write_misses == 0
+                   for ip in (2, 3, 4))
+
+
+class TestCongestedReceiver:
+    def test_multicast_paced_by_slowest_receiver(self, testbed8):
+        """Single-rate CC: a congested receiver drags the whole group
+        to its rate (the paper's §III-D design choice)."""
+        cl = testbed8
+        algo = CepheusBcast(cl, [1, 2, 3, 4])
+        algo.prepare()
+        # Host 2's downlink also serves a fat background unicast flow.
+        cl.qp_to(8, 2).post_send(64 << 20)
+        r = algo.run(32 << 20)
+        # The whole group lands well below line rate, together.
+        assert r.goodput_gbps() < 75
+        spread = max(r.recv_times.values()) - min(r.recv_times.values())
+        assert spread < 0.2 * r.jct
+
+    def test_pfc_backpressures_whole_group(self):
+        """With ECN disabled, PFC pauses the replication upstream and
+        the transfer still completes losslessly (§III-D Flow Control)."""
+        from repro.net import SwitchConfig
+
+        big = constants.SWITCH_QUEUE_BYTES
+        cl = Cluster.testbed(
+            8, switch_config=SwitchConfig(ecn_kmin=big + 1, ecn_kmax=big + 2))
+        algo = CepheusBcast(cl, [1, 2, 3, 4])
+        algo.prepare()
+        cl.qp_to(8, 2).post_send(64 << 20)
+        r = algo.run(32 << 20)
+        sw = cl.topo.switches[0]
+        assert sw.taildrops == 0
+        assert sw.pfc.pause_frames_sent > 0
+        assert len(r.recv_times) == 3

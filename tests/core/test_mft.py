@@ -1,0 +1,147 @@
+"""MFT structure: Path Index/Table, aggregation state, memory model."""
+
+import pytest
+
+from repro import constants
+from repro.core.mft import NO_ACK, Mft, MftTable, PathEntry
+from repro.errors import GroupError, RegistrationError
+
+GID = constants.MCSTID_BASE
+
+
+class TestPathManagement:
+    def test_empty_table(self):
+        mft = Mft(GID, 8)
+        assert mft.path_table == []
+        assert not mft.has_port(3)
+        assert mft.entry(3) is None
+
+    def test_add_entry_indexes_port(self):
+        mft = Mft(GID, 8)
+        e = mft.add_entry(PathEntry(port=5, is_host=False))
+        assert mft.has_port(5)
+        assert mft.entry(5) is e
+        assert mft.path_index[5] == 1  # 1-based index into the table
+
+    def test_add_is_idempotent_per_port(self):
+        mft = Mft(GID, 8)
+        a = mft.add_entry(PathEntry(port=2, is_host=False))
+        b = mft.add_entry(PathEntry(port=2, is_host=False))
+        assert a is b and len(mft.path_table) == 1
+
+    def test_host_info_upgrades_switch_entry(self):
+        """The MRP ingress creates a bare entry; a directly-attached
+        member on the same port later fills in its connection info."""
+        mft = Mft(GID, 8)
+        mft.add_entry(PathEntry(port=1, is_host=False))
+        mft.add_entry(PathEntry(port=1, is_host=True, dst_ip=9, dst_qp=0x77))
+        e = mft.entry(1)
+        assert e.is_host and e.dst_ip == 9 and e.dst_qp == 0x77
+
+    def test_table_bounded_by_port_count(self):
+        """The Path Table can never exceed the switch radix — the §III-D
+        'fixed to at most n entries' property."""
+        mft = Mft(GID, 8)
+        for p in range(8):
+            mft.add_entry(PathEntry(port=p, is_host=(p % 2 == 0)))
+        assert len(mft.path_table) == 8
+        # Re-adding existing ports never grows the table.
+        for p in range(8):
+            mft.add_entry(PathEntry(port=p, is_host=False))
+        assert len(mft.path_table) == 8
+
+    def test_overfull_table_raises(self):
+        """Defensive bound: a corrupt index cannot push past the radix."""
+        mft = Mft(GID, 2)
+        mft.add_entry(PathEntry(port=0, is_host=False))
+        mft.add_entry(PathEntry(port=1, is_host=False))
+        mft.path_index[1] = 0  # simulate index corruption
+        with pytest.raises(GroupError):
+            mft.add_entry(PathEntry(port=1, is_host=False))
+
+    def test_iter_downstream_prunes_ingress(self):
+        mft = Mft(GID, 8)
+        for p in (0, 1, 2):
+            mft.add_entry(PathEntry(port=p, is_host=False))
+        ports = [e.port for e in mft.iter_downstream(exclude_port=1)]
+        assert ports == [0, 2]
+
+
+class TestAggregationState:
+    def _mft(self, acks):
+        mft = Mft(GID, 8)
+        for port, ack in acks.items():
+            e = mft.add_entry(PathEntry(port=port, is_host=True))
+            e.ack_psn = ack
+        return mft
+
+    def test_min_ack_over_all_paths(self):
+        mft = self._mft({0: 10, 1: 7, 2: 12})
+        assert mft.min_ack_psn() == 7
+        assert mft.min_port == 1
+
+    def test_upstream_port_excluded(self):
+        mft = self._mft({0: 10, 1: 3, 2: 12})
+        mft.ack_out_port = 1
+        assert mft.min_ack_psn() == 10
+        assert mft.min_port == 0
+
+    def test_empty_downstream_returns_none(self):
+        mft = self._mft({0: 5})
+        mft.ack_out_port = 0
+        assert mft.min_ack_psn() is None
+
+    def test_initial_state(self):
+        mft = Mft(GID, 8)
+        assert mft.agg_ack_psn == NO_ACK
+        assert mft.tri_port is None
+        assert mft.me_psn is None
+        assert mft.ack_out_port is None
+
+
+class TestMemoryModel:
+    def test_full_64_port_table_size(self):
+        mft = Mft(GID, 64)
+        for p in range(64):
+            mft.add_entry(PathEntry(port=p, is_host=True))
+        assert mft.memory_bytes() == constants.MFT_BYTES_PER_GROUP_64P
+
+    def test_paper_bound_1k_groups(self):
+        """§III-D: 1K MGs cost at most ~0.69 MB at 64 ports."""
+        per_group = constants.MFT_BYTES_PER_GROUP_64P
+        assert per_group * 1024 <= 0.75 * 1e6
+
+    def test_memory_independent_of_group_size(self):
+        """Hierarchical state: a 4-path MFT costs the same whether the
+        subtrees hold 4 or 4000 receivers."""
+        mft = Mft(GID, 64)
+        for p in range(4):
+            mft.add_entry(PathEntry(port=p, is_host=False))
+        assert mft.memory_bytes() == 64 + 4 * 10 + 20
+
+
+class TestMftTable:
+    def test_get_or_create(self):
+        t = MftTable(8)
+        a = t.get_or_create(GID)
+        assert t.get_or_create(GID) is a
+        assert len(t) == 1 and GID in t
+
+    def test_capacity_enforced(self):
+        t = MftTable(8, max_groups=2)
+        t.get_or_create(GID)
+        t.get_or_create(GID + 1)
+        with pytest.raises(RegistrationError):
+            t.get_or_create(GID + 2)
+
+    def test_remove_frees_slot(self):
+        t = MftTable(8, max_groups=1)
+        t.get_or_create(GID)
+        t.remove(GID)
+        t.get_or_create(GID + 1)  # no raise
+
+    def test_total_memory(self):
+        t = MftTable(64)
+        for g in range(10):
+            t.get_or_create(GID + g)
+        assert t.total_memory_bytes() == 10 * (64 + 20)

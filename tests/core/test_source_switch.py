@@ -1,0 +1,123 @@
+"""Source switching (§III-E): one MFT, PSN sync, in-network detection."""
+
+import pytest
+
+from repro import constants
+from repro.core.source_switch import SourceSwitchCoordinator, psn_consistent
+from repro.errors import GroupError
+
+
+def _group(cluster, members=None, leader=None):
+    members = members or cluster.host_ips
+    qps = {ip: cluster.ctx(ip).create_qp() for ip in members}
+    group = cluster.fabric.create_group(qps, leader_ip=leader or members[0])
+    cluster.fabric.register_sync(group)
+    return group, qps
+
+
+def _bcast(cluster, group, qps, size):
+    src = group.current_source
+    done = {}
+    delivered = {}
+    for ip in group.receivers():
+        qps[ip].on_message = (
+            lambda mid, sz, now, meta, _ip=ip: delivered.setdefault(_ip, sz))
+    qps[src].post_send(size, on_complete=lambda mid, now: done.setdefault("t", now))
+    cluster.run()
+    return delivered, done
+
+
+class TestPsnSynchronization:
+    def test_consistent_after_switch(self, testbed):
+        group, qps = _group(testbed)
+        _bcast(testbed, group, qps, constants.MTU_BYTES * 100)
+        assert psn_consistent(group)
+        group.switch_source(3)
+        assert group.current_source == 3
+        assert psn_consistent(group)
+
+    def test_new_source_delivers_to_everyone(self, testbed):
+        group, qps = _group(testbed)
+        _bcast(testbed, group, qps, constants.MTU_BYTES * 10)
+        group.switch_source(2)
+        delivered, done = _bcast(testbed, group, qps, constants.MTU_BYTES * 5)
+        assert set(delivered) == {1, 3, 4}
+        assert all(v == constants.MTU_BYTES * 5 for v in delivered.values())
+        assert "t" in done  # new source got its aggregated ACKs
+
+    def test_multiple_rotations(self, testbed):
+        group, qps = _group(testbed)
+        for new_src in (2, 3, 4, 1, 2):
+            _bcast(testbed, group, qps, 8192)
+            group.switch_source(new_src)
+            assert psn_consistent(group)
+        delivered, _ = _bcast(testbed, group, qps, 8192)
+        assert len(delivered) == 3
+
+    def test_switch_to_same_source_noop(self, testbed):
+        group, qps = _group(testbed)
+        group.switch_source(group.current_source)
+        assert group.current_source == 1
+
+    def test_nonmember_rejected(self, testbed):
+        group, _ = _group(testbed, members=[1, 2, 3])
+        with pytest.raises(GroupError):
+            group.switch_source(4)
+
+
+class TestInNetworkDetection:
+    def test_accelerator_repoints_ack_out_port(self, testbed):
+        group, qps = _group(testbed)
+        accel = testbed.fabric.accelerators["sw0"]
+        _bcast(testbed, group, qps, 8192)
+        mft = accel.mft_of(group.mcst_id)
+        port_of = {ip: testbed.topo.leaf_of(ip)[1] for ip in group.members}
+        assert mft.ack_out_port == port_of[1]
+        group.switch_source(3)
+        _bcast(testbed, group, qps, 8192)
+        assert mft.ack_out_port == port_of[3]
+        assert accel.source_switches_seen >= 1
+
+    def test_single_mft_reused_across_sources(self, fat_tree_cluster):
+        """The scalability point of §III-E: rotation must not create new
+        MFTs anywhere."""
+        cl = fat_tree_cluster
+        group, qps = _group(cl, members=[1, 3, 5, 7], leader=1)
+        def total_mfts():
+            return sum(len(a.table) for a in cl.fabric.accelerators.values())
+        _bcast(cl, group, qps, 8192)
+        before = total_mfts()
+        for src in (3, 5, 7):
+            group.switch_source(src)
+            delivered, _ = _bcast(cl, group, qps, 8192)
+            assert len(delivered) == 3
+        assert total_mfts() == before
+
+    def test_cross_rack_source_switch(self, fat_tree_cluster):
+        """New source in a different rack: feedback must re-route toward
+        it through the whole tree."""
+        cl = fat_tree_cluster
+        group, qps = _group(cl, members=[1, 5, 9, 13], leader=1)
+        _bcast(cl, group, qps, constants.MTU_BYTES * 20)
+        group.switch_source(13)
+        delivered, done = _bcast(cl, group, qps, constants.MTU_BYTES * 20)
+        assert set(delivered) == {1, 5, 9}
+        assert "t" in done
+
+
+class TestCoordinator:
+    def test_requires_registered_group(self, testbed):
+        qps = {ip: testbed.ctx(ip).create_qp() for ip in testbed.host_ips}
+        group = testbed.fabric.create_group(qps, leader_ip=1)
+        coord = SourceSwitchCoordinator(group)
+        with pytest.raises(GroupError):
+            coord.switch_to(2)
+
+    def test_rotation_order(self, testbed):
+        group, qps = _group(testbed)
+        coord = SourceSwitchCoordinator(group)
+        _bcast(testbed, group, qps, 4096)
+        seq = [coord.rotate() for _ in range(4)]
+        assert seq == [2, 3, 4, 1]
+        assert coord.switch_count == 4
+        assert coord.history == [1, 2, 3, 4, 1]

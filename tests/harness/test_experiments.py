@@ -1,0 +1,95 @@
+"""Integration smoke tests of the heavier experiment functions.
+
+Each runs in its quick configuration and asserts the paper's
+qualitative claim (who wins, direction of effects) — the quantitative
+bands live in the benchmarks and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.harness import ablations, experiments
+
+
+class TestTestbedExperiments:
+    def test_fig8_bands(self):
+        res = experiments.fig8_bcast_small()
+        for row in res.rows:
+            assert row["speedup_vs_bt"] > 1.8
+            assert row["speedup_vs_chain"] > 2.3
+
+    def test_fig9_bands(self):
+        res = experiments.fig9_bcast_large()
+        for row in res.rows:
+            assert 1.3 <= row["speedup_vs_chain"] <= 3.0
+            assert 1.8 <= row["speedup_vs_bt"] <= 3.2
+
+    def test_rdmc_comparison(self):
+        res = experiments.rdmc_comparison()
+        rdmc_row = next(r for r in res.rows if r["scheme"] == "rdmc")
+        assert 1.2 <= rdmc_row["ratio_vs_cepheus"] <= 2.0  # paper 1.43
+
+    def test_tab1_ordering(self):
+        res = experiments.tab1_storage_iops()
+        iops = {r["scheme"]: r["iops_M"] for r in res.rows}
+        assert iops["3-unicasts"] < 0.5 * iops["cepheus"]
+        assert iops["cepheus"] > 0.9 * iops["1-unicast"]
+        assert 1.0 < iops["1-unicast"] < 1.4
+
+    def test_fig10_reductions(self):
+        res = experiments.fig10_storage_latency()
+        reds = res.column("reduction_vs_3uni")
+        assert all(r > 0.1 for r in reds)
+        assert reds[-1] > reds[0]  # gap widens with IO size
+
+
+class TestSimulationExperiments:
+    def test_fig12_shapes(self):
+        res = experiments.fig12_large_scale(quick=True)
+        small = res.rows[0]
+        large = res.rows[-1]
+        assert small["speedup_vs_chain"] > 20   # paper: up to 164x @512
+        assert small["speedup_vs_bt"] > 3
+        assert large["speedup_vs_chain"] > 1.5  # paper: 2.1x
+        assert large["speedup_vs_bt"] > 3       # paper: 8.9x
+        modes = set(res.column("mode"))
+        assert modes == {"packet", "analytic"}
+
+    def test_fig13_degradation_direction(self):
+        # One small setup with the extreme rates only: the full quick
+        # sweep lives in the fig13 benchmark, not the unit suite.
+        res = experiments.fig13_loss(
+            quick=True, setups=[(4, 16, 4 << 20)], rates=[0.0, 5e-4])
+        ceph = [r for r in res.rows if r["scheme"] == "cepheus"]
+        worst = min(r["norm_tput"] for r in ceph)
+        clean = max(r["norm_tput"] for r in ceph)
+        assert clean == pytest.approx(1.0)
+        assert worst < 1.0  # loss visibly degrades Cepheus throughput
+        # at the small scale Cepheus still beats Chain on absolute FCT
+        small = [r for r in res.rows if r["scale"] == min(
+            row["scale"] for row in res.rows)]
+        by = {(r["scheme"], r["loss_rate"]): r["fct_ms"] for r in small}
+        for rate in {r["loss_rate"] for r in small}:
+            assert by[("cepheus", rate)] < by[("chain", rate)]
+
+
+class TestAblations:
+    def test_ack_trigger_reduces_sender_acks(self):
+        res = ablations.ablation_ack_trigger()
+        by = {r["variant"]: r for r in res.rows}
+        assert by["with-trigger"]["sender_acks"] < \
+            0.8 * by["no-trigger"]["sender_acks"]
+
+    def test_nack_rule_prevents_intercovering_stall(self):
+        res = ablations.ablation_nack_rule()
+        by = {r["variant"]: r for r in res.rows}
+        ok = by["with-mepsn"]
+        bad = by["no-mepsn"]
+        assert ok["receivers_done"] == ok["receivers_total"]
+        assert bad["receivers_done"] < bad["receivers_total"]
+        assert bad["delivered_frac_min"] < 1.0
+
+    def test_retransmit_filter_counts(self):
+        res = ablations.ablation_retransmit_filter()
+        by = {r["variant"]: r for r in res.rows}
+        assert by["with-filter"]["filtered"] > 0
+        assert by["no-filter"]["filtered"] == 0

@@ -1,0 +1,37 @@
+"""The CLI harness entry point."""
+
+import io
+
+import pytest
+
+from repro.harness.runner import ALL_EXPERIMENTS, main, run_experiments
+
+
+class TestRunExperiments:
+    def test_streams_tables(self):
+        out = io.StringIO()
+        results = run_experiments(["fig7b", "abl-mem"], quick=True,
+                                  stream=out)
+        text = out.getvalue()
+        assert len(results) == 2
+        assert "fig7b" in text and "abl-mem" in text
+        assert "wall" in results[0].notes
+
+    def test_quick_tag_recorded(self):
+        out = io.StringIO()
+        (res,) = run_experiments(["fig7b"], quick=True, stream=out)
+        assert "(quick)" in res.notes
+
+
+class TestMainCli:
+    def test_only_selection(self, capsys):
+        assert main(["--only", "fig7b"]) == 0
+        captured = capsys.readouterr()
+        assert "MFT memory" in captured.out
+
+    def test_unknown_experiment_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--only", "fig99"])
+
+    def test_registry_complete(self):
+        assert len(ALL_EXPERIMENTS) >= 15

@@ -1,0 +1,47 @@
+"""Generic sweep utility."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.sweeps import BcastSweep
+
+
+class TestBcastSweep:
+    def test_full_grid_produced(self):
+        sweep = BcastSweep(sizes=[4096, 1 << 16], group_sizes=[3, 4],
+                           algorithms=["cepheus", "chain"])
+        res = sweep.run()
+        assert len(res.rows) == 4  # 2 sizes x 2 group sizes
+        assert set(res.headers) == {"group", "size", "cepheus_jct",
+                                    "chain_jct"}
+        assert all(row["cepheus_jct"] > 0 for row in res.rows)
+
+    def test_ordering_preserved_in_rows(self):
+        sweep = BcastSweep(sizes=[64, 1 << 20], group_sizes=[4],
+                           algorithms=["cepheus", "binomial"])
+        res = sweep.run()
+        assert all(r["binomial_jct"] > r["cepheus_jct"] for r in res.rows)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BcastSweep(sizes=[64], group_sizes=[4], algorithms=["nope"])
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BcastSweep(sizes=[], group_sizes=[4], algorithms=["cepheus"])
+
+    def test_custom_cluster_factory(self):
+        from repro.apps import Cluster
+
+        made = []
+
+        def factory(n):
+            cl = Cluster.fat_tree_cluster(4)
+            made.append(n)
+            return cl
+
+        sweep = BcastSweep(sizes=[4096], group_sizes=[4],
+                           algorithms=["cepheus"], cluster_factory=factory)
+        res = sweep.run()
+        assert made == [4]
+        assert len(res.rows) == 1

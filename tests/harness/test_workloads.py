@@ -1,0 +1,89 @@
+"""Workload generation: distributions, arrivals, replay."""
+
+import random
+
+import pytest
+
+from repro.apps import Cluster
+from repro.collectives import CepheusBcast, ChainBcast
+from repro.errors import ConfigurationError
+from repro.harness.workloads import (DNN_UPDATES, MIXED, QUERY,
+                                     STORAGE_REPLICATION, MulticastWorkload,
+                                     PoissonArrivals, SizeDistribution)
+
+
+class TestSizeDistribution:
+    def test_samples_within_knot_range(self):
+        rng = random.Random(0)
+        for dist in (QUERY, STORAGE_REPLICATION, DNN_UPDATES, MIXED):
+            lo, hi = dist._sizes[0], dist._sizes[-1]
+            for _ in range(500):
+                assert lo <= dist.sample(rng) <= hi
+
+    def test_deterministic_given_seed(self):
+        a = [QUERY.sample(random.Random(7)) for _ in range(10)]
+        b = [QUERY.sample(random.Random(7)) for _ in range(10)]
+        assert a == b
+
+    def test_means_ordered_by_workload_class(self):
+        assert QUERY.mean() < STORAGE_REPLICATION.mean() < DNN_UPDATES.mean()
+
+    def test_mixed_is_heavy_tailed(self):
+        rng = random.Random(3)
+        samples = sorted(MIXED.sample(rng) for _ in range(5000))
+        median = samples[len(samples) // 2]
+        p99 = samples[int(0.99 * len(samples))]
+        assert p99 > 100 * median
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SizeDistribution([(64, 0.0)])
+        with pytest.raises(ConfigurationError):
+            SizeDistribution([(64, 0.0), (32, 1.0)])
+        with pytest.raises(ConfigurationError):
+            SizeDistribution([(64, 0.0), (128, 0.9)])
+        with pytest.raises(ConfigurationError):
+            SizeDistribution([(-1, 0.0), (128, 1.0)])
+
+
+class TestPoissonArrivals:
+    def test_rate_roughly_respected(self):
+        rng = random.Random(1)
+        times = PoissonArrivals(10_000).times(2000, rng)
+        assert times == sorted(times)
+        mean_gap = times[-1] / len(times)
+        assert 0.8e-4 < mean_gap < 1.2e-4
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(0)
+
+
+class TestMulticastWorkload:
+    def test_schedule_reproducible(self):
+        w1 = MulticastWorkload(QUERY, PoissonArrivals(1e5), 20, seed=5)
+        w2 = MulticastWorkload(QUERY, PoissonArrivals(1e5), 20, seed=5)
+        assert w1.schedule == w2.schedule
+
+    def test_replay_collects_fcts(self):
+        cl = Cluster.testbed(4)
+        w = MulticastWorkload(QUERY, PoissonArrivals(2e5), 30, seed=2)
+        res = w.run(cl, cl.host_ips, CepheusBcast)
+        assert len(res.fcts) == 30
+        assert res.percentile(50) > 0
+        assert res.percentile(99) >= res.percentile(50)
+
+    def test_cepheus_beats_chain_across_the_mix(self):
+        w = MulticastWorkload(MIXED, PoissonArrivals(5e4), 25, seed=4)
+        cl1, cl2 = Cluster.testbed(4), Cluster.testbed(4)
+        ceph = w.run(cl1, cl1.host_ips, CepheusBcast)
+        chain = w.run(cl2, cl2.host_ips, ChainBcast, slices=4)
+        assert ceph.percentile(50) < chain.percentile(50)
+        assert ceph.percentile(99) < chain.percentile(99)
+
+    def test_small_large_split(self):
+        cl = Cluster.testbed(4)
+        w = MulticastWorkload(MIXED, PoissonArrivals(1e5), 40, seed=9)
+        res = w.run(cl, cl.host_ips, CepheusBcast)
+        small, large = res.small_large_split()
+        assert len(small) + len(large) == 40

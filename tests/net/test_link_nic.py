@@ -1,0 +1,84 @@
+"""Link wiring + host NIC demux."""
+
+import pytest
+
+from repro.errors import TopologyError, TransportError
+from repro.net.link import connect
+from repro.net.nic import Nic
+from repro.net.packet import Packet, PacketType
+from repro.net.switch import Switch
+
+
+class _QpStub:
+    def __init__(self):
+        self.got = []
+
+    def handle_packet(self, pkt):
+        self.got.append(pkt)
+
+
+class TestConnect:
+    def test_symmetric_wiring(self, sim):
+        a = Switch(sim, "a", 2)
+        b = Switch(sim, "b", 2)
+        info = connect(a, 0, b, 1, bandwidth=40e9, propagation=2e-6)
+        assert a.ports[0].peer_device is b and a.ports[0].peer_port == 1
+        assert b.ports[1].peer_device is a and b.ports[1].peer_port == 0
+        assert a.ports[0].bandwidth == b.ports[1].bandwidth == 40e9
+        assert "a[0]<->b[1]" in info.endpoint_names()
+
+    def test_port_reuse_rejected(self, sim):
+        a, b, c = (Switch(sim, n, 2) for n in "abc")
+        connect(a, 0, b, 0)
+        with pytest.raises(TopologyError):
+            connect(a, 0, c, 0)
+
+
+class TestNicDemux:
+    def test_routes_to_registered_qp(self, sim):
+        nic = Nic(sim, ip=1)
+        qp = _QpStub()
+        nic.register_qp(0x100, qp)
+        nic.receive(Packet(PacketType.DATA, 2, 1, dst_qp=0x100), 0)
+        assert len(qp.got) == 1
+
+    def test_unmatched_qp_silently_dropped(self, sim):
+        """Commodity RNIC behaviour: the reason native multicast breaks
+        (paper §II-D C1)."""
+        nic = Nic(sim, ip=1)
+        nic.receive(Packet(PacketType.DATA, 2, 1, dst_qp=0xDEAD), 0)
+        assert nic.rx_unmatched == 1
+
+    def test_duplicate_qpn_rejected(self, sim):
+        nic = Nic(sim, ip=1)
+        nic.register_qp(0x100, _QpStub())
+        with pytest.raises(TransportError):
+            nic.register_qp(0x100, _QpStub())
+
+    def test_qpn_allocation_unique(self, sim):
+        nic = Nic(sim, ip=1)
+        qpns = {nic.allocate_qpn() for _ in range(50)}
+        assert len(qpns) == 50
+
+    def test_control_packets_to_handler(self, sim):
+        nic = Nic(sim, ip=1)
+        got = []
+        nic.control_handler = got.append
+        for t in (PacketType.MRP, PacketType.MRP_CONFIRM, PacketType.CTRL):
+            nic.receive(Packet(t, 2, 1), 0)
+        assert len(got) == 3
+
+    def test_pause_freezes_egress(self, sim):
+        nic = Nic(sim, ip=1)
+        nic.receive(Packet(PacketType.PAUSE, 0, 0), 0)
+        assert nic.egress_paused
+        nic.receive(Packet(PacketType.RESUME, 0, 0), 0)
+        assert not nic.egress_paused
+
+    def test_deregister(self, sim):
+        nic = Nic(sim, ip=1)
+        qp = _QpStub()
+        nic.register_qp(0x100, qp)
+        nic.deregister_qp(0x100)
+        nic.receive(Packet(PacketType.DATA, 2, 1, dst_qp=0x100), 0)
+        assert qp.got == [] and nic.rx_unmatched == 1

@@ -1,0 +1,90 @@
+"""Small behaviours not covered elsewhere."""
+
+import pytest
+
+from repro.net import Simulator, SwitchConfig, star
+from repro.net.packet import Packet, PacketType
+from repro.transport import RoceConfig, VerbsContext
+
+
+class TestFeedbackLossKnob:
+    def test_feedback_loss_disabled_by_default(self):
+        sim = Simulator()
+        topo = star(sim, 2, switch_config=SwitchConfig(loss_rate=1.0))
+        sw = topo.switches[0]
+        got = []
+        topo.nic(2).register_qp(0x50, type("Q", (), {
+            "handle_packet": staticmethod(lambda pkt: got.append(pkt))})())
+        sw.receive(Packet(PacketType.ACK, 1, 2, dst_qp=0x50), 0)
+        sim.run()
+        assert len(got) == 1  # ACKs spared even at loss_rate=1
+
+    def test_feedback_loss_opt_in(self):
+        sim = Simulator()
+        cfg = SwitchConfig(loss_rate=1.0, loss_applies_to_feedback=True)
+        topo = star(sim, 2, switch_config=cfg)
+        sw = topo.switches[0]
+        got = []
+        topo.nic(2).register_qp(0x50, type("Q", (), {
+            "handle_packet": staticmethod(lambda pkt: got.append(pkt))})())
+        sw.receive(Packet(PacketType.ACK, 1, 2, dst_qp=0x50), 0)
+        sim.run()
+        assert got == []
+
+    def test_lost_acks_recovered_by_rto(self):
+        """With feedback loss enabled, the sender's safeguard timeout
+        still completes the transfer (duplicate data re-acked)."""
+        sim = Simulator()
+        cfg = SwitchConfig(loss_rate=0.3, loss_applies_to_feedback=True,
+                           seed=5)
+        topo = star(sim, 2, switch_config=cfg)
+        a = VerbsContext(sim, topo.nic(1), RoceConfig(rto=200e-6))
+        b = VerbsContext(sim, topo.nic(2), RoceConfig(rto=200e-6))
+        qa, qb = a.create_qp(), b.create_qp()
+        qa.connect(2, qb.qpn)
+        qb.connect(1, qa.qpn)
+        qa.post_send(40960)
+        sim.run(max_events=3_000_000)
+        assert qb.recv.bytes_delivered == 40960
+        assert qa.send_idle
+
+
+class TestPerQpConfigOverride:
+    def test_create_qp_config_param(self):
+        sim = Simulator()
+        topo = star(sim, 2)
+        ctx = VerbsContext(sim, topo.nic(1), RoceConfig(mtu=4096))
+        custom = ctx.create_qp(RoceConfig(mtu=1024))
+        default = ctx.create_qp()
+        assert custom.cfg.mtu == 1024
+        assert default.cfg.mtu == 4096
+
+    def test_small_mtu_packetization(self):
+        sim = Simulator()
+        topo = star(sim, 2)
+        cfg = RoceConfig(mtu=1024)
+        a = VerbsContext(sim, topo.nic(1), cfg)
+        b = VerbsContext(sim, topo.nic(2), cfg)
+        qa, qb = a.create_qp(), b.create_qp()
+        qa.connect(2, qb.qpn)
+        qb.connect(1, qa.qpn)
+        qa.post_send(10_000)
+        sim.run()
+        assert qa.tx_data_packets == 10
+        assert qb.recv.bytes_delivered == 10_000
+
+
+class TestQpTeardownMidFlight:
+    def test_close_during_congestion_control(self):
+        sim = Simulator()
+        topo = star(sim, 3)
+        ctxs = [VerbsContext(sim, topo.nic(i + 1)) for i in range(3)]
+        q12 = ctxs[0].create_qp()
+        q21 = ctxs[1].create_qp()
+        q12.connect(2, q21.qpn)
+        q21.connect(1, q12.qpn)
+        q12.post_send(8 << 20)
+        sim.run(until=10e-6)   # mid-flight, CC timers armed
+        q12.close()
+        sim.run()
+        assert sim.peek_next_time() is None  # nothing leaked

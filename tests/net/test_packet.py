@@ -1,0 +1,95 @@
+"""Packet model: wire sizes, cloning, classification."""
+
+import pytest
+
+from repro import constants
+from repro.net.packet import Packet, PacketType, RdmaOp, is_multicast_ip
+
+
+class TestWireSize:
+    def test_data_includes_headers(self):
+        p = Packet(PacketType.DATA, 1, 2, payload=4096)
+        assert p.wire_size == 4096 + constants.HEADER_BYTES
+
+    def test_write_first_packet_pays_reth(self):
+        first = Packet(PacketType.DATA, 1, 2, payload=1024,
+                       op=RdmaOp.WRITE, first=True)
+        middle = Packet(PacketType.DATA, 1, 2, payload=1024,
+                        op=RdmaOp.WRITE, first=False)
+        assert first.wire_size == middle.wire_size + 16
+
+    def test_send_never_pays_reth(self):
+        first = Packet(PacketType.DATA, 1, 2, payload=1024,
+                       op=RdmaOp.SEND, first=True)
+        assert first.wire_size == 1024 + constants.HEADER_BYTES
+
+    def test_ack_and_nack_fixed_size(self):
+        ack = Packet(PacketType.ACK, 1, 2)
+        nack = Packet(PacketType.NACK, 1, 2)
+        assert ack.wire_size == nack.wire_size == constants.ACK_BYTES
+
+    def test_cnp_size(self):
+        assert Packet(PacketType.CNP, 1, 2).wire_size == constants.CNP_BYTES
+
+    def test_pause_is_minimum_frame(self):
+        assert Packet(PacketType.PAUSE, 0, 0).wire_size == 64
+
+    def test_mrp_capped_at_control_mtu(self):
+        p = Packet(PacketType.MRP, 1, 2, payload=10_000)
+        assert p.wire_size == constants.MRP_MTU_BYTES
+
+
+class TestClassification:
+    def test_mcstid_range(self):
+        assert is_multicast_ip(constants.MCSTID_BASE)
+        assert is_multicast_ip(constants.MCSTID_BASE + 12345)
+        assert not is_multicast_ip(1)
+        assert not is_multicast_ip(constants.MCSTID_BASE - 1)
+
+    def test_is_mcast_data(self):
+        mc = Packet(PacketType.DATA, 1, constants.MCSTID_BASE)
+        uc = Packet(PacketType.DATA, 1, 2)
+        assert mc.is_mcast_data and not uc.is_mcast_data
+
+    def test_feedback_types(self):
+        for t in (PacketType.ACK, PacketType.NACK, PacketType.CNP):
+            assert Packet(t, 1, 2).is_feedback
+        assert not Packet(PacketType.DATA, 1, 2).is_feedback
+
+    def test_mcast_feedback(self):
+        fb = Packet(PacketType.ACK, 5, constants.MCSTID_BASE)
+        assert fb.is_mcast_feedback
+
+    def test_flow_hash_stable_and_flow_consistent(self):
+        a = Packet(PacketType.DATA, 1, 2, src_qp=7, dst_qp=9, psn=0)
+        b = Packet(PacketType.DATA, 1, 2, src_qp=7, dst_qp=9, psn=55)
+        assert a.flow_hash() == b.flow_hash()
+
+
+class TestClone:
+    def test_clone_copies_fields(self):
+        p = Packet(PacketType.DATA, 1, 2, src_qp=3, dst_qp=4, psn=10,
+                   payload=512, op=RdmaOp.WRITE, msg_id=77, first=True,
+                   last=True, vaddr=0x1000, rkey=0x2000, retransmit=True)
+        p.ecn = True
+        p.hops = 3
+        c = p.clone()
+        for attr in ("ptype", "src_ip", "dst_ip", "src_qp", "dst_qp", "psn",
+                     "payload", "op", "msg_id", "first", "last", "vaddr",
+                     "rkey", "retransmit", "ecn", "hops"):
+            assert getattr(c, attr) == getattr(p, attr), attr
+
+    def test_clone_gets_fresh_pid(self):
+        p = Packet(PacketType.DATA, 1, 2)
+        assert p.clone().pid != p.pid
+
+    def test_clone_is_independent(self):
+        p = Packet(PacketType.DATA, 1, 2, payload=100)
+        c = p.clone()
+        c.dst_ip = 99
+        c.psn = 42
+        assert p.dst_ip == 2 and p.psn == 0
+
+    def test_pids_unique(self):
+        pids = {Packet(PacketType.DATA, 1, 2).pid for _ in range(100)}
+        assert len(pids) == 100

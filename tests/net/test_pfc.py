@@ -1,0 +1,131 @@
+"""PFC: per-ingress accounting, XOFF/XON, backpressure propagation."""
+
+import pytest
+
+from repro import constants
+from repro.apps import Cluster
+from repro.net import SwitchConfig
+from repro.net.packet import Packet, PacketType
+from repro.net.pfc import PfcManager
+from repro.net.port import Port
+
+
+class _Dev:
+    def __init__(self, sim, n_ports=4):
+        self.sim = sim
+        self.name = "dev"
+        self.ports = [Port(self, i) for i in range(n_ports)]
+
+    def receive(self, pkt, in_port):
+        pass
+
+
+def _data(payload=4096):
+    return Packet(PacketType.DATA, 1, 2, payload=payload)
+
+
+class TestAccounting:
+    def test_occupancy_tracks_enqueue_dequeue(self, sim):
+        dev = _Dev(sim)
+        pfc = PfcManager(dev, 4, xoff_bytes=10**9, xon_bytes=10**8)
+        p = _data()
+        pfc.on_enqueue(p, 1)
+        assert pfc.occupancy(1) == p.wire_size
+        pfc.on_dequeue(p, 1)
+        assert pfc.occupancy(1) == 0
+
+    def test_local_traffic_not_counted(self, sim):
+        dev = _Dev(sim)
+        pfc = PfcManager(dev, 4)
+        pfc.on_enqueue(_data(), -1)
+        assert all(pfc.occupancy(i) == 0 for i in range(4))
+
+    def test_occupancy_never_negative(self, sim):
+        dev = _Dev(sim)
+        pfc = PfcManager(dev, 4)
+        pfc.on_dequeue(_data(), 2)
+        assert pfc.occupancy(2) == 0
+
+    def test_disabled_manager_noop(self, sim):
+        dev = _Dev(sim)
+        pfc = PfcManager(dev, 4, enabled=False)
+        for _ in range(1000):
+            pfc.on_enqueue(_data(), 0)
+        assert pfc.pause_frames_sent == 0
+
+
+class TestThresholds:
+    def test_pause_sent_once_at_xoff(self, sim):
+        dev = _Dev(sim)
+        peer = _Dev(sim)
+        dev.ports[1].connect(peer, 0)
+        pfc = PfcManager(dev, 4, xoff_bytes=8000, xon_bytes=4000)
+        for _ in range(5):  # ~20KB
+            pfc.on_enqueue(_data(), 1)
+        assert pfc.pause_frames_sent == 1
+
+    def test_resume_at_xon(self, sim):
+        dev = _Dev(sim)
+        peer = _Dev(sim)
+        dev.ports[1].connect(peer, 0)
+        pfc = PfcManager(dev, 4, xoff_bytes=8000, xon_bytes=4000)
+        pkts = [_data() for _ in range(5)]
+        for p in pkts:
+            pfc.on_enqueue(p, 1)
+        for p in pkts:
+            pfc.on_dequeue(p, 1)
+        assert pfc.resume_frames_sent == 1
+
+    def test_handle_frame_gates_port(self, sim):
+        dev = _Dev(sim)
+        pfc = PfcManager(dev, 4)
+        pfc.handle_frame(Packet(PacketType.PAUSE, 0, 0), 2)
+        assert dev.ports[2].paused
+        pfc.handle_frame(Packet(PacketType.RESUME, 0, 0), 2)
+        assert not dev.ports[2].paused
+
+
+class TestEndToEndBackpressure:
+    def test_incast_stays_lossless_via_dcqcn(self):
+        """Three senders blast one receiver: with ECN/DCQCN active the
+        fabric stays lossless and each flow converges to a fair share —
+        PFC is never even needed (it is the backstop, not the governor)."""
+        cl = Cluster.testbed(4)
+        done = []
+        for src in (2, 3, 4):
+            qp = cl.qp_to(src, 1)
+            cl.qp_to(1, src).on_message = \
+                lambda mid, sz, now, meta: done.append(now)
+            qp.post_send(8 << 20)
+        cl.run()
+        sw = cl.topo.switches[0]
+        assert len(done) == 3
+        assert sw.taildrops == 0
+        rate = cl.qp_to(2, 1).cc.rate
+        assert rate < 0.6 * constants.LINK_BANDWIDTH_BPS  # DCQCN backed off
+
+    def test_incast_pfc_backstop_without_ecn(self):
+        """With ECN disabled (thresholds above the buffer), only PFC can
+        keep the incast lossless — and it must."""
+        big = constants.SWITCH_QUEUE_BYTES
+        cfg = SwitchConfig(ecn_kmin=big + 1, ecn_kmax=big + 2)
+        cl = Cluster.testbed(4, switch_config=cfg)
+        done = []
+        for src in (2, 3, 4):
+            qp = cl.qp_to(src, 1)
+            cl.qp_to(1, src).on_message = \
+                lambda mid, sz, now, meta: done.append(now)
+            qp.post_send(8 << 20)
+        cl.run()
+        sw = cl.topo.switches[0]
+        assert len(done) == 3
+        assert sw.taildrops == 0
+        assert sw.pfc.pause_frames_sent > 0  # PFC actually engaged
+
+    def test_pfc_disabled_can_drop(self):
+        cfg = SwitchConfig(pfc_enabled=False, queue_capacity=200_000)
+        cl = Cluster.testbed(4, switch_config=cfg)
+        for src in (2, 3, 4):
+            cl.qp_to(src, 1).post_send(4 << 20)
+        cl.run(until=20e-3)
+        assert cl.topo.switches[0].taildrops > 0

@@ -1,0 +1,135 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.net.simulator import Simulator
+
+
+class TestScheduling:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_runs_single_event(self, sim):
+        fired = []
+        sim.schedule(1e-6, fired.append, 1)
+        sim.run()
+        assert fired == [1]
+        assert sim.now == pytest.approx(1e-6)
+
+    def test_events_run_in_time_order(self, sim):
+        order = []
+        sim.schedule(3e-6, order.append, "c")
+        sim.schedule(1e-6, order.append, "a")
+        sim.schedule(2e-6, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_run_in_scheduling_order(self, sim):
+        order = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(5e-6, order.append, tag)
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_schedule_at_absolute_time(self, sim):
+        fired = []
+        sim.schedule_at(2e-6, fired.append, "x")
+        sim.run()
+        assert fired == ["x"] and sim.now == pytest.approx(2e-6)
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.schedule(-1e-9, lambda: None)
+
+    def test_schedule_into_past_rejected(self, sim):
+        sim.schedule(1e-6, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5e-6, lambda: None)
+
+    def test_events_can_schedule_events(self, sim):
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1e-6, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == pytest.approx(3e-6)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        ev = sim.schedule(1e-6, fired.append, "no")
+        ev.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        ev = sim.schedule(1e-6, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        sim.run()
+
+    def test_peek_skips_cancelled(self, sim):
+        ev = sim.schedule(1e-6, lambda: None)
+        sim.schedule(2e-6, lambda: None)
+        ev.cancel()
+        assert sim.peek_next_time() == pytest.approx(2e-6)
+
+    def test_peek_empty(self, sim):
+        assert sim.peek_next_time() is None
+
+
+class TestRunControl:
+    def test_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule(1e-6, fired.append, "in")
+        sim.schedule(5e-6, fired.append, "out")
+        sim.run(until=2e-6)
+        assert fired == ["in"]
+        assert sim.now == pytest.approx(2e-6)
+
+    def test_until_inclusive_at_boundary(self, sim):
+        fired = []
+        sim.schedule(2e-6, fired.append, "edge")
+        sim.run(until=2e-6)
+        assert fired == ["edge"]
+
+    def test_run_returns_executed_count(self, sim):
+        for _ in range(5):
+            sim.schedule(1e-6, lambda: None)
+        assert sim.run() == 5
+        assert sim.events_run == 5
+
+    def test_max_events_guard(self, sim):
+        def loop():
+            sim.schedule(1e-9, loop)
+
+        sim.schedule(0, loop)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=100)
+
+    def test_resume_after_until(self, sim):
+        fired = []
+        sim.schedule(1e-6, fired.append, 1)
+        sim.schedule(3e-6, fired.append, 2)
+        sim.run(until=2e-6)
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_determinism(self):
+        """Two identical schedules produce identical traces."""
+        def trace():
+            s = Simulator()
+            out = []
+            for i in range(20):
+                s.schedule((i * 7 % 5) * 1e-6, out.append, i)
+            s.run()
+            return out
+
+        assert trace() == trace()

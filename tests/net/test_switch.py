@@ -1,0 +1,161 @@
+"""Switch: FIB/ECMP, forwarding, loss injection, PFC framing."""
+
+import pytest
+
+from repro.errors import RoutingError, TopologyError
+from repro.net.link import connect
+from repro.net.packet import Packet, PacketType
+from repro.net.simulator import Simulator
+from repro.net.switch import Switch, SwitchConfig
+from repro.net.topology import star
+
+
+class _Host:
+    def __init__(self, sim, ip):
+        self.sim = sim
+        self.ip = ip
+        self.name = f"h{ip}"
+        from repro.net.port import Port
+        self.ports = [Port(self, 0)]
+        self.received = []
+
+    def receive(self, pkt, in_port):
+        self.received.append(pkt)
+
+
+def _two_hosts_one_switch(sim):
+    sw = Switch(sim, "sw", 4)
+    h1, h2 = _Host(sim, 1), _Host(sim, 2)
+    connect(sw, 0, h1, 0)
+    connect(sw, 1, h2, 0)
+    sw.port_kind[0] = sw.port_kind[1] = "host"
+    sw.add_route(1, [0])
+    sw.add_route(2, [1])
+    return sw, h1, h2
+
+
+class TestRouting:
+    def test_forwards_by_fib(self, sim):
+        sw, h1, h2 = _two_hosts_one_switch(sim)
+        sw.receive(Packet(PacketType.DATA, 1, 2, payload=64), 0)
+        sim.run()
+        assert len(h2.received) == 1 and h1.received == []
+
+    def test_unknown_destination_raises(self, sim):
+        sw, _, _ = _two_hosts_one_switch(sim)
+        with pytest.raises(RoutingError):
+            sw.receive(Packet(PacketType.DATA, 1, 99), 0)
+
+    def test_ecmp_group_flow_consistent(self, sim):
+        sw = Switch(sim, "sw", 4)
+        sw.add_route(9, [2, 3])
+        pkts = [Packet(PacketType.DATA, 1, 9, src_qp=5, dst_qp=6, psn=i)
+                for i in range(20)]
+        chosen = {sw.route_lookup(p) for p in pkts}
+        assert len(chosen) == 1  # same flow -> same uplink
+
+    def test_ecmp_spreads_different_flows(self, sim):
+        sw = Switch(sim, "sw", 4)
+        sw.add_route(9, [2, 3])
+        chosen = {
+            sw.route_lookup(Packet(PacketType.DATA, 1, 9, src_qp=q))
+            for q in range(32)
+        }
+        assert chosen == {2, 3}
+
+    def test_add_route_deduplicates(self, sim):
+        sw = Switch(sim, "sw", 4)
+        sw.add_route(9, [2])
+        sw.add_route(9, [2, 3])
+        assert sw.route_ports(9) == [2, 3]
+
+    def test_route_ports_unknown(self, sim):
+        sw = Switch(sim, "sw", 4)
+        with pytest.raises(RoutingError):
+            sw.route_ports(1234)
+
+
+class TestLossInjection:
+    def _lossy(self, sim, rate, seed=0):
+        cfg = SwitchConfig(loss_rate=rate, seed=seed)
+        sw = Switch(sim, "sw", 4, cfg)
+        h1, h2 = _Host(sim, 1), _Host(sim, 2)
+        connect(sw, 0, h1, 0)
+        connect(sw, 1, h2, 0)
+        sw.add_route(2, [1])
+        return sw, h2
+
+    def test_no_loss_at_zero_rate(self, sim):
+        sw, h2 = self._lossy(sim, 0.0)
+        for i in range(100):
+            sw.receive(Packet(PacketType.DATA, 1, 2, psn=i, payload=64), 0)
+        sim.run()
+        assert len(h2.received) == 100 and sw.random_drops == 0
+
+    def test_full_loss(self, sim):
+        sw, h2 = self._lossy(sim, 1.0)
+        for i in range(50):
+            sw.receive(Packet(PacketType.DATA, 1, 2, psn=i, payload=64), 0)
+        sim.run()
+        assert h2.received == [] and sw.random_drops == 50
+
+    def test_partial_loss_statistics(self, sim):
+        sw, h2 = self._lossy(sim, 0.3)
+        for i in range(2000):
+            sw.receive(Packet(PacketType.DATA, 1, 2, psn=i, payload=64), 0)
+        sim.run()
+        assert 0.2 < sw.random_drops / 2000 < 0.4
+
+    def test_feedback_spared_by_default(self, sim):
+        sw, h2 = self._lossy(sim, 1.0)
+        sw.receive(Packet(PacketType.ACK, 1, 2), 0)
+        sim.run()
+        assert len(h2.received) == 1
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            s = Simulator()
+            sw, h2 = TestLossInjection()._lossy(s, 0.5, seed=seed)
+            for i in range(100):
+                sw.receive(Packet(PacketType.DATA, 1, 2, psn=i, payload=64), 0)
+            s.run()
+            return [p.psn for p in h2.received]
+
+        assert run(7) == run(7)
+
+
+class TestPfcFrames:
+    def test_pause_frame_pauses_egress(self, sim):
+        sw, h1, h2 = _two_hosts_one_switch(sim)
+        sw.receive(Packet(PacketType.PAUSE, 0, 0), 1)
+        sw.receive(Packet(PacketType.DATA, 1, 2, payload=64), 0)
+        sim.run()
+        assert h2.received == []  # egress toward h2 is paused
+        sw.receive(Packet(PacketType.RESUME, 0, 0), 1)
+        sim.run()
+        assert len(h2.received) == 1
+
+
+class TestAclClassification:
+    def test_accelerator_consulted_for_multicast(self, sim):
+        from repro import constants
+
+        class FakeAccel:
+            def __init__(self):
+                self.seen = []
+
+            def classify(self, pkt):
+                return pkt.is_mcast_data
+
+            def process(self, pkt, in_port):
+                self.seen.append((pkt, in_port))
+
+        sw, h1, h2 = _two_hosts_one_switch(sim)
+        accel = FakeAccel()
+        sw.accelerator = accel
+        sw.receive(Packet(PacketType.DATA, 1, constants.MCSTID_BASE,
+                          payload=64), 0)
+        sw.receive(Packet(PacketType.DATA, 1, 2, payload=64), 0)
+        sim.run()
+        assert len(accel.seen) == 1      # multicast redirected
+        assert len(h2.received) == 1     # unicast forwarded normally

@@ -1,0 +1,140 @@
+"""Telemetry helpers: latency stats, taps, probes, packet log."""
+
+import pytest
+
+from repro.apps import Cluster
+from repro.net.telemetry import (DeliveryTap, LatencyStats, PacketLog,
+                                 QueueDepthProbe)
+
+
+class TestLatencyStats:
+    def test_empty(self):
+        s = LatencyStats()
+        assert s.mean == 0.0 and s.percentile(50) == 0.0
+
+    def test_mean_and_max(self):
+        s = LatencyStats()
+        for v in (1.0, 2.0, 3.0):
+            s.record(v)
+        assert s.mean == pytest.approx(2.0)
+        assert s.max_value == 3.0 and s.count == 3
+
+    def test_percentiles_exact(self):
+        s = LatencyStats()
+        for v in range(1, 101):
+            s.record(float(v))
+        assert s.percentile(0) == 1.0
+        assert s.percentile(100) == 100.0
+        assert s.percentile(50) == pytest.approx(50.5)
+
+    def test_percentile_range_checked(self):
+        s = LatencyStats()
+        s.record(1.0)
+        with pytest.raises(ValueError):
+            s.percentile(101)
+
+    def test_retention_bound(self):
+        s = LatencyStats(max_samples=10)
+        for v in range(100):
+            s.record(float(v))
+        assert s.count == 100
+        assert len(s._samples) == 10
+
+    def test_summary_keys(self):
+        s = LatencyStats()
+        s.record(5.0)
+        assert set(s.summary()) == {"count", "mean", "p50", "p99", "max"}
+
+
+class TestDeliveryTap:
+    def test_records_one_way_delay(self):
+        cl = Cluster.testbed(2)
+        tap = DeliveryTap(cl.qp_to(2, 1))
+        cl.qp_to(1, 2).post_send(40960)
+        cl.run()
+        assert tap.stats.count == 10
+        assert 0 < tap.stats.mean < 100e-6
+
+    def test_detach_restores(self):
+        cl = Cluster.testbed(2)
+        qp = cl.qp_to(2, 1)
+        tap = DeliveryTap(qp)
+        tap.detach()
+        cl.qp_to(1, 2).post_send(4096)
+        cl.run()
+        assert tap.stats.count == 0
+        assert qp.recv.bytes_delivered == 4096
+
+    def test_feedback_not_counted(self):
+        cl = Cluster.testbed(2)
+        tap = DeliveryTap(cl.qp_to(1, 2))  # sender side sees only ACKs
+        cl.qp_to(1, 2).post_send(40960)
+        cl.run()
+        assert tap.stats.count == 0
+
+
+class TestQueueDepthProbe:
+    def test_samples_and_terminates(self):
+        cl = Cluster.testbed(4)
+        port = cl.topo.switches[0].ports[0]
+        probe = QueueDepthProbe(cl.sim, port, interval=5e-6, duration=200e-6)
+        for src in (2, 3, 4):
+            cl.qp_to(src, 1).post_send(1 << 20)
+        cl.run()
+        assert probe.peak_bytes > 0
+        assert probe.series[-1][0] <= probe.deadline
+        assert cl.sim.peek_next_time() is None  # probe did not leak events
+
+    def test_stop_early(self):
+        cl = Cluster.testbed(2)
+        probe = QueueDepthProbe(cl.sim, cl.topo.switches[0].ports[0],
+                                interval=1e-6, duration=1.0)
+        probe.stop()
+        cl.run()
+        assert len(probe.series) == 1
+
+    def test_mean(self):
+        cl = Cluster.testbed(2)
+        probe = QueueDepthProbe(cl.sim, cl.topo.switches[0].ports[0],
+                                interval=10e-6, duration=50e-6)
+        cl.run()
+        assert probe.mean_bytes() == 0.0
+
+
+class TestPacketLog:
+    def test_logs_forwarded_packets(self):
+        cl = Cluster.testbed(2)
+        log = PacketLog(cl.topo.switches[0])
+        cl.qp_to(1, 2).post_send(40960)
+        cl.run()
+        assert len(log.of_type("DATA")) == 10
+        assert len(log.of_type("ACK")) >= 1
+
+    def test_ring_bound(self):
+        cl = Cluster.testbed(2)
+        log = PacketLog(cl.topo.switches[0], max_entries=5)
+        cl.qp_to(1, 2).post_send(40960)
+        cl.run()
+        assert len(log) == 5
+
+    def test_detach(self):
+        cl = Cluster.testbed(2)
+        log = PacketLog(cl.topo.switches[0])
+        log.detach()
+        cl.qp_to(1, 2).post_send(4096)
+        cl.run()
+        assert len(log) == 0
+
+    def test_multicast_tree_visible(self):
+        """The log exposes the replication fan-out of one packet."""
+        from repro.collectives import CepheusBcast
+
+        cl = Cluster.testbed(4)
+        algo = CepheusBcast(cl, cl.host_ips)
+        algo.prepare()
+        log = PacketLog(cl.topo.switches[0])
+        algo.qps[1].post_send(100)
+        cl.run()
+        data = log.of_type("DATA")
+        assert len(data) == 3  # one ingress packet -> three replicas
+        assert {e[4] for e in data} == {1, 2, 3}  # distinct egress ports

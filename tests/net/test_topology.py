@@ -1,0 +1,138 @@
+"""Topology builders: shapes, routing reachability, loss targeting."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.packet import Packet, PacketType
+from repro.net.simulator import Simulator
+from repro.net.topology import Topology, dumbbell, fat_tree, star
+
+
+class TestStar:
+    def test_host_count(self, sim):
+        topo = star(sim, 6)
+        assert topo.host_ips == [1, 2, 3, 4, 5, 6]
+        assert len(topo.switches) == 1
+
+    def test_all_ports_host_kind(self, sim):
+        topo = star(sim, 4)
+        assert topo.switches[0].host_ports() == [0, 1, 2, 3]
+
+    def test_leaf_of(self, sim):
+        topo = star(sim, 4)
+        sw, port = topo.leaf_of(3)
+        assert sw is topo.switches[0] and port == 2
+
+    def test_unknown_host(self, sim):
+        topo = star(sim, 2)
+        with pytest.raises(TopologyError):
+            topo.leaf_of(99)
+
+
+class TestFatTree:
+    def test_k4_shape(self, sim):
+        topo = fat_tree(sim, 4)
+        assert len(topo.host_ips) == 16
+        assert len(topo.switches_in_layer("edge")) == 8
+        assert len(topo.switches_in_layer("agg")) == 8
+        assert len(topo.switches_in_layer("core")) == 4
+
+    def test_k8_host_count(self, sim):
+        topo = fat_tree(sim, 8)
+        assert len(topo.host_ips) == 128
+
+    def test_odd_k_rejected(self, sim):
+        with pytest.raises(TopologyError):
+            fat_tree(sim, 5)
+
+    def test_hosts_limit(self, sim):
+        topo = fat_tree(sim, 4, hosts_limit=5)
+        assert len(topo.host_ips) == 5
+
+    def test_every_switch_routes_every_host(self, sim):
+        topo = fat_tree(sim, 4)
+        for sw in topo.switches:
+            for ip in topo.host_ips:
+                assert topo and sw.route_ports(ip)
+
+    def test_edge_uplinks_are_ecmp(self, sim):
+        topo = fat_tree(sim, 4)
+        edge = topo.switches_in_layer("edge")[0]
+        # a host in another pod must be reachable over both uplinks
+        remote = topo.host_ips[-1]
+        assert len(edge.route_ports(remote)) == 2
+
+    def test_same_rack_single_hop(self, sim):
+        topo = fat_tree(sim, 4)
+        edge, port = topo.leaf_of(1)
+        assert edge.route_ports(2) != edge.route_ports(1)
+        assert edge.is_host_port(edge.route_ports(2)[0])
+
+    def test_end_to_end_delivery_cross_pod(self, sim):
+        topo = fat_tree(sim, 4)
+        got = []
+        dst = topo.host_ips[-1]
+        topo.nic(dst).control_handler = got.append
+        pkt = Packet(PacketType.CTRL, 1, dst, payload=64)
+        edge, _ = topo.leaf_of(1)
+        edge.receive(pkt, topo.leaf_of(1)[1])
+        sim.run()
+        assert len(got) == 1
+        assert got[0].hops >= 5  # edge->agg->core->agg->edge->host
+
+    def test_loss_targets_middle_layers(self, sim):
+        topo = fat_tree(sim, 4)
+        topo.set_loss_rate(0.1)
+        for sw in topo.switches:
+            expected = 0.1 if sw.layer in ("agg", "core") else 0.0
+            assert sw.config.loss_rate == expected
+
+    def test_loss_fallback_for_single_layer_topo(self, sim):
+        topo = star(sim, 4)
+        topo.set_loss_rate(0.2)
+        assert topo.switches[0].config.loss_rate == 0.2
+
+
+class TestDumbbell:
+    def test_shape(self, sim):
+        topo = dumbbell(sim, 3, 2)
+        assert len(topo.host_ips) == 5
+        assert len(topo.switches) == 2
+
+    def test_bottleneck_bandwidth(self, sim):
+        topo = dumbbell(sim, 1, 1, bottleneck=10e9)
+        left = topo.switches[0]
+        trunk = [p for p in left.ports if p.connected
+                 and left.port_kind[p.index] == "switch"]
+        assert trunk[0].bandwidth == 10e9
+
+    def test_cross_side_route(self, sim):
+        topo = dumbbell(sim, 2, 2)
+        left = topo.switches[0]
+        right_host = topo.host_ips[-1]
+        port = left.route_ports(right_host)[0]
+        assert left.port_kind[port] == "switch"
+
+
+class TestWiring:
+    def test_double_connect_rejected(self, sim):
+        topo = Topology(sim)
+        a = topo.add_switch("a", 2)
+        b = topo.add_switch("b", 2)
+        c = topo.add_switch("c", 2)
+        topo.wire_switches(a, 0, b, 0)
+        with pytest.raises(TopologyError):
+            topo.wire_switches(a, 0, c, 0)
+
+    def test_duplicate_host_ip_rejected(self, sim):
+        topo = Topology(sim)
+        topo.add_host(1)
+        with pytest.raises(TopologyError):
+            topo.add_host(1)
+
+    def test_unattached_host_fails_routing(self, sim):
+        topo = Topology(sim)
+        topo.add_switch("a", 2)
+        topo.add_host(1)
+        with pytest.raises(TopologyError):
+            topo.build_routes()

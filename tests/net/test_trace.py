@@ -1,0 +1,51 @@
+"""Throughput sampler and fabric stats collection."""
+
+import pytest
+
+from repro.net import Simulator, star
+from repro.net.trace import RunStats, ThroughputSampler, collect_run_stats
+
+
+class TestSampler:
+    def test_empty_series(self):
+        assert ThroughputSampler().series_gbps() == []
+
+    def test_single_bucket(self):
+        s = ThroughputSampler(1e-3)
+        s.record(0.5e-3, 12_500_000)  # 12.5 MB in 1 ms = 100 Gbps
+        assert s.series_gbps() == [pytest.approx(100.0)]
+
+    def test_buckets_accumulate(self):
+        s = ThroughputSampler(1e-3)
+        s.record(0.1e-3, 1000)
+        s.record(0.2e-3, 1000)
+        s.record(1.5e-3, 500)
+        series = s.series_gbps()
+        assert len(series) == 2
+        assert series[0] == pytest.approx(2000 * 8 / 1e-3 / 1e9)
+
+    def test_gaps_are_zero(self):
+        s = ThroughputSampler(1e-3)
+        s.record(0.0, 100)
+        s.record(3.2e-3, 100)
+        series = s.series_gbps()
+        assert series[1] == 0.0 and series[2] == 0.0
+
+    def test_average_window(self):
+        s = ThroughputSampler(1e-3)
+        for ms in range(10):
+            s.record(ms * 1e-3, 1_250_000)  # 10 Gbps every ms
+        assert s.average_gbps(2e-3, 8e-3) == pytest.approx(10.0)
+
+
+class TestRunStats:
+    def test_collects_per_switch(self, sim):
+        topo = star(sim, 4)
+        stats = collect_run_stats(topo)
+        assert isinstance(stats, RunStats)
+        assert "sw0" in stats.per_switch
+
+    def test_counts_random_drops(self, sim):
+        topo = star(sim, 4)
+        topo.switches[0].random_drops = 7
+        assert collect_run_stats(topo).random_drops == 7

@@ -1,0 +1,82 @@
+"""Property tests over the collective algorithms.
+
+Every broadcast engine must deliver exactly the posted byte count to
+every member, for arbitrary sizes and member subsets; the Cepheus
+engine must additionally beat multi-unicast whenever fan-out > 1
+(in-network replication can never lose to sender-serialized copies).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps import ALGORITHMS, Cluster
+
+SLOW = dict(max_examples=10, deadline=None,
+            suppress_health_check=[HealthCheck.too_slow])
+
+
+@given(
+    alg=st.sampled_from(sorted(ALGORITHMS)),
+    size=st.integers(1, 1 << 21),
+    n=st.integers(2, 8),
+)
+@settings(**SLOW)
+def test_every_engine_delivers_exact_bytes(alg, size, n):
+    cl = Cluster.testbed(n)
+    engine = ALGORITHMS[alg](cl, cl.host_ips)
+    result = engine.run(size)
+    assert set(result.recv_times) == set(cl.host_ips[1:])
+    assert result.jct > 0
+    for ip in cl.host_ips[1:]:
+        total = sum(qp.recv.bytes_delivered
+                    for qp in cl.ctx(ip).qps)
+        assert total == size, (alg, ip)
+
+
+@given(
+    size=st.integers(1, 1 << 22),
+    n=st.integers(3, 8),
+    root_idx=st.integers(0, 7),
+)
+@settings(**SLOW)
+def test_cepheus_never_loses_to_multi_unicast(size, n, root_idx):
+    root_idx %= n
+    cl = Cluster.testbed(n)
+    root = cl.host_ips[root_idx]
+    ceph = ALGORITHMS["cepheus"](cl, cl.host_ips, root).run(size).jct
+    uni = ALGORITHMS["multi-unicast"](cl, cl.host_ips, root).run(size).jct
+    assert ceph <= uni * 1.01
+
+
+@given(
+    size=st.integers(1, 1 << 20),
+    slices=st.integers(1, 16),
+)
+@settings(**SLOW)
+def test_chain_slicing_always_partitions(size, slices):
+    from repro.collectives import ChainBcast
+
+    cl = Cluster.testbed(4)
+    algo = ChainBcast(cl, cl.host_ips, slices=slices)
+    pieces = algo._slice_sizes(size)
+    assert sum(pieces) == size
+    assert all(p > 0 for p in pieces)
+    assert len(pieces) <= slices
+    # respect the min-slice floor except when a single slice is forced
+    if len(pieces) > 1:
+        assert min(pieces) >= algo.min_slice // 2
+
+
+@given(data=st.data())
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_binomial_jct_monotone_in_size(data):
+    from repro.collectives import BinomialTreeBcast
+
+    sizes = sorted(data.draw(st.lists(
+        st.integers(64, 1 << 22), min_size=2, max_size=4, unique=True)))
+    cl = Cluster.testbed(4)
+    algo = BinomialTreeBcast(cl, cl.host_ips)
+    jcts = [algo.run(s).jct for s in sizes]
+    assert jcts == sorted(jcts)

@@ -1,0 +1,126 @@
+"""Property-based tests of the feedback engine (DESIGN.md invariants 2-3).
+
+The engine is a pure state machine, so hypothesis can drive it with
+arbitrary interleavings of per-port ACK/NACK progress and check the
+paper's two safety guarantees on every emission.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import constants
+from repro.core.feedback import FeedbackConfig, FeedbackEngine
+from repro.core.mft import Mft, PathEntry
+from repro.net.packet import PacketType
+
+GID = constants.MCSTID_BASE
+
+
+def build_mft(n_ports):
+    mft = Mft(GID, n_ports + 1)
+    mft.add_entry(PathEntry(port=n_ports, is_host=False))
+    mft.ack_out_port = n_ports
+    for p in range(n_ports):
+        mft.add_entry(PathEntry(port=p, is_host=True))
+    return mft
+
+
+# Each receiver independently walks its delivered-prefix forward; an
+# event is (port, advance, lose?) — lose injects a NACK at the current
+# prefix instead of an ACK.
+events = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(1, 5), st.booleans()),
+    min_size=1, max_size=200,
+)
+
+
+@given(events)
+@settings(max_examples=200, deadline=None)
+def test_aggregated_ack_never_overclaims(evs):
+    """Every emitted ACK(p) must satisfy: all downstream paths have
+    cumulatively acknowledged at least p."""
+    eng = FeedbackEngine()
+    mft = build_mft(4)
+    prefix = [0, 0, 0, 0]  # delivered-prefix per port (exclusive)
+    for port, adv, lose in evs:
+        if lose:
+            out = eng.on_nack(mft, port, prefix[port])
+        else:
+            prefix[port] += adv
+            out = eng.on_ack(mft, port, prefix[port] - 1)
+        for ptype, psn in out:
+            if ptype == PacketType.ACK:
+                assert all(prefix[p] - 1 >= psn for p in range(4)), \
+                    f"ACK({psn}) but prefixes {prefix}"
+
+
+@given(events)
+@settings(max_examples=200, deadline=None)
+def test_emitted_nack_never_covers_a_loss(evs):
+    """Every emitted NACK(e) must satisfy: every receiver has all
+    packets below e (otherwise the sender would skip an earlier loss)."""
+    eng = FeedbackEngine()
+    mft = build_mft(4)
+    prefix = [0, 0, 0, 0]
+    for port, adv, lose in evs:
+        if lose:
+            out = eng.on_nack(mft, port, prefix[port])
+        else:
+            prefix[port] += adv
+            out = eng.on_ack(mft, port, prefix[port] - 1)
+        for ptype, psn in out:
+            if ptype == PacketType.NACK:
+                # prefix[p] >= psn  <=>  p holds every PSN below psn
+                assert all(prefix[p] >= psn for p in range(4)), \
+                    f"NACK({psn}) but prefixes {prefix}"
+
+
+@given(events)
+@settings(max_examples=150, deadline=None)
+def test_aggregate_monotonic(evs):
+    """The aggregated ACK stream the sender sees is non-decreasing."""
+    eng = FeedbackEngine()
+    mft = build_mft(4)
+    prefix = [0, 0, 0, 0]
+    emitted = []
+    for port, adv, lose in evs:
+        if lose:
+            out = eng.on_nack(mft, port, prefix[port])
+        else:
+            prefix[port] += adv
+            out = eng.on_ack(mft, port, prefix[port] - 1)
+        emitted.extend(psn for t, psn in out if t == PacketType.ACK)
+    assert emitted == sorted(emitted)
+
+
+@given(events, st.booleans(), st.booleans())
+@settings(max_examples=100, deadline=None)
+def test_no_emission_regardless_of_config_crashes(evs, trig, nagg):
+    """Robustness: every config variant digests every interleaving."""
+    eng = FeedbackEngine(FeedbackConfig(trigger_condition=trig,
+                                        nack_aggregation=nagg))
+    mft = build_mft(4)
+    prefix = [0, 0, 0, 0]
+    for port, adv, lose in evs:
+        if lose:
+            eng.on_nack(mft, port, prefix[port])
+        else:
+            prefix[port] += adv
+            eng.on_ack(mft, port, prefix[port] - 1)
+    assert eng.acks_in + eng.nacks_in == len(evs)
+
+
+@given(st.lists(st.tuples(st.integers(0, 3),
+                          st.floats(0, 1e-3, allow_nan=False)),
+                min_size=1, max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_cnp_filter_passes_subset(cnps):
+    """The filter forwards a (most-congested) subset, never amplifies."""
+    eng = FeedbackEngine()
+    mft = build_mft(4)
+    now = 0.0
+    for port, dt in cnps:
+        now += dt
+        out = eng.on_cnp(mft, port, now)
+        assert len(out) <= 1
+    assert eng.cnps_out <= eng.cnps_in

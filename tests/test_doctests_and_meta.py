@@ -1,0 +1,52 @@
+"""Doctests with real examples + package metadata checks."""
+
+import doctest
+
+import repro
+
+
+class TestDoctests:
+    def test_simulator_doctest(self):
+        from repro.net import simulator
+        assert doctest.testmod(simulator).failed == 0
+
+    def test_binomial_doctest(self):
+        from repro.collectives import binomial
+        assert doctest.testmod(binomial).failed == 0
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.analytic
+        import repro.apps
+        import repro.collectives
+        import repro.core
+        import repro.ext
+        import repro.harness
+        import repro.net
+        import repro.transport
+
+        for mod in (repro.analytic, repro.apps, repro.collectives,
+                    repro.core, repro.ext, repro.harness, repro.net,
+                    repro.transport):
+            for name in mod.__all__:
+                assert getattr(mod, name, None) is not None, \
+                    f"{mod.__name__}.{name}"
+
+    def test_every_public_module_has_docstring(self):
+        import importlib
+        import pkgutil
+
+        missing = []
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            mod = importlib.import_module(info.name)
+            if not (mod.__doc__ or "").strip():
+                missing.append(info.name)
+        assert missing == []

@@ -1,0 +1,124 @@
+"""DCQCN reaction-point state machine."""
+
+import pytest
+
+from repro.net.simulator import Simulator
+from repro.transport.dcqcn import DcqcnConfig, DcqcnRateController
+
+LINE = 100e9
+
+
+def _cc(sim, **kw):
+    return DcqcnRateController(sim, LINE, DcqcnConfig(**kw))
+
+
+class TestCnpReaction:
+    def test_starts_at_line_rate(self, sim):
+        assert _cc(sim).rate == LINE
+
+    def test_cnp_cuts_rate(self, sim):
+        cc = _cc(sim)
+        cc.on_cnp()
+        # alpha was 1.0 -> updated to (1-g)+g = 1.0 before the cut? no:
+        # alpha updates first with g weight, then rate is cut by alpha/2.
+        assert cc.rate < LINE
+        assert cc.target == LINE  # target remembers pre-cut rate
+
+    def test_successive_cnps_compound(self, sim):
+        cc = _cc(sim)
+        cc.on_cnp()
+        r1 = cc.rate
+        cc.on_cnp()
+        assert cc.rate < r1
+
+    def test_rate_floor(self, sim):
+        cc = _cc(sim, min_rate=1e9)
+        for _ in range(200):
+            cc.on_cnp()
+        assert cc.rate == pytest.approx(1e9)
+
+    def test_disabled_ignores_cnp(self, sim):
+        cc = _cc(sim, enabled=False)
+        cc.on_cnp()
+        assert cc.rate == LINE
+
+
+class TestAlpha:
+    def test_alpha_rises_on_cnp(self, sim):
+        cc = _cc(sim)
+        cc.start()
+        sim.run(until=500e-6)   # let alpha decay first
+        a0 = cc.alpha
+        cc.on_cnp()
+        assert cc.alpha > a0
+        cc.stop()
+
+    def test_alpha_decays_without_cnp(self, sim):
+        cc = _cc(sim)
+        cc.start()
+        cc.on_cnp()
+        a0 = cc.alpha
+        sim.run(until=sim.now + 1e-3)
+        assert cc.alpha < a0
+        cc.stop()
+
+
+class TestIncrease:
+    def test_fast_recovery_approaches_target(self, sim):
+        cc = _cc(sim)
+        cc.start()
+        cc.on_cnp()
+        cut = cc.rate
+        sim.run(until=sim.now + 200e-6)  # a few rate-timer ticks
+        assert cut < cc.rate <= cc.target
+        cc.stop()
+
+    def test_additive_increase_raises_target(self, sim):
+        cc = _cc(sim, rate_timer=10e-6, f=2)
+        cc.start()
+        cc.on_cnp()   # first cut: target snaps to the (line) rate
+        cc.on_cnp()   # second cut: target now below line rate
+        t0 = cc.target
+        assert t0 < LINE
+        sim.run(until=sim.now + 500e-6)  # > f ticks: additive phase
+        assert cc.target > t0
+        cc.stop()
+
+    def test_rate_never_exceeds_line(self, sim):
+        cc = _cc(sim, rate_timer=5e-6, rai=10e9, rhai=50e9, f=1)
+        cc.start()
+        cc.on_cnp()
+        sim.run(until=sim.now + 5e-3)
+        assert cc.rate <= LINE and cc.target <= LINE
+        cc.stop()
+
+    def test_byte_counter_triggers_increase(self, sim):
+        cc = _cc(sim, byte_counter=10_000)
+        cc.start()
+        cc.on_cnp()
+        r0 = cc.rate
+        cc.on_bytes_sent(50_000)  # 5 byte-counter events
+        assert cc.rate > r0
+        cc.stop()
+
+
+class TestLifecycle:
+    def test_timers_stop_cleanly(self, sim):
+        cc = _cc(sim)
+        cc.start()
+        cc.stop()
+        sim.run()
+        assert sim.peek_next_time() is None
+
+    def test_start_idempotent(self, sim):
+        cc = _cc(sim)
+        cc.start()
+        cc.start()
+        cc.stop()
+        sim.run()
+        assert not cc.active
+
+    def test_inactive_ignores_bytes(self, sim):
+        cc = _cc(sim, byte_counter=1000)
+        cc.on_bytes_sent(100_000)
+        assert cc.rate == LINE

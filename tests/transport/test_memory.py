@@ -1,0 +1,64 @@
+"""Memory regions and the responder-side RETH check."""
+
+import pytest
+
+from repro.errors import MemoryRegionError
+from repro.transport.memory import MemoryRegion, MrTable
+
+
+class TestRegistration:
+    def test_register_assigns_unique_rkeys(self):
+        t = MrTable()
+        a, b = t.register(4096), t.register(4096)
+        assert a.rkey != b.rkey
+
+    def test_regions_do_not_overlap(self):
+        t = MrTable()
+        a, b = t.register(1 << 20), t.register(1 << 20)
+        assert a.addr + a.length <= b.addr or b.addr + b.length <= a.addr
+
+    def test_explicit_address(self):
+        t = MrTable()
+        mr = t.register(100, addr=0x5000)
+        assert mr.addr == 0x5000
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(MemoryRegionError):
+            MrTable().register(0)
+
+    def test_lookup_and_deregister(self):
+        t = MrTable()
+        mr = t.register(64)
+        assert t.lookup(mr.rkey) is mr
+        t.deregister(mr.rkey)
+        assert t.lookup(mr.rkey) is None
+
+
+class TestWriteValidation:
+    def test_valid_write_within_region(self):
+        t = MrTable()
+        mr = t.register(8192)
+        assert t.validate_write(mr.rkey, mr.addr + 100, 4000)
+        assert t.write_hits == 1
+
+    def test_write_past_end_rejected(self):
+        t = MrTable()
+        mr = t.register(8192)
+        assert not t.validate_write(mr.rkey, mr.addr + 8000, 4096)
+        assert t.write_misses == 1
+
+    def test_unknown_rkey_rejected(self):
+        t = MrTable()
+        t.register(8192)
+        assert not t.validate_write(0xBAD, 0, 1)
+
+    def test_exact_fit(self):
+        t = MrTable()
+        mr = t.register(4096)
+        assert t.validate_write(mr.rkey, mr.addr, 4096)
+
+    def test_contains(self):
+        mr = MemoryRegion(addr=0x1000, length=0x100, rkey=1)
+        assert mr.contains(0x1000, 0x100)
+        assert not mr.contains(0xFFF, 1)
+        assert not mr.contains(0x10FF, 2)

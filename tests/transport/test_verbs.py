@@ -1,0 +1,67 @@
+"""Verbs facade and completion queue."""
+
+import pytest
+
+from repro.net import Simulator, star
+from repro.transport.verbs import CompletionQueue, VerbsContext
+
+
+@pytest.fixture
+def two_ctx():
+    sim = Simulator()
+    topo = star(sim, 2)
+    return sim, VerbsContext(sim, topo.nic(1)), VerbsContext(sim, topo.nic(2))
+
+
+class TestVerbsContext:
+    def test_create_qp_registers_with_nic(self, two_ctx):
+        _, a, _ = two_ctx
+        qp = a.create_qp()
+        assert a.nic.get_qp(qp.qpn) is qp
+
+    def test_modify_qp_accepts_virtual_remote(self, two_ctx):
+        from repro import constants
+        _, a, _ = two_ctx
+        qp = a.create_qp()
+        a.modify_qp(qp, dst_ip=constants.MCSTID_BASE,
+                    dst_qp=constants.VIRTUAL_DST_QP)
+        assert qp.dst_ip == constants.MCSTID_BASE
+        assert qp.dst_qp == constants.VIRTUAL_DST_QP
+
+    def test_reg_mr_uses_host_table(self, two_ctx):
+        _, a, _ = two_ctx
+        mr = a.reg_mr(4096)
+        assert a.mr_table.lookup(mr.rkey) is mr
+
+    def test_destroy_closes_qps(self, two_ctx):
+        _, a, _ = two_ctx
+        qp = a.create_qp()
+        a.destroy()
+        assert a.nic.get_qp(qp.qpn) is None
+        assert a.qps == []
+
+    def test_end_to_end_with_cq(self, two_ctx):
+        sim, a, b = two_ctx
+        qa, qb = a.create_qp(), b.create_qp()
+        a.modify_qp(qa, 2, qb.qpn)
+        b.modify_qp(qb, 1, qa.qpn)
+        cq = CompletionQueue()
+        qa.post_send(4096, on_complete=cq.push)
+        sim.run()
+        entries = cq.poll()
+        assert len(entries) == 1
+        assert entries[0].timestamp > 0
+
+
+class TestCompletionQueue:
+    def test_poll_limits_and_drains(self):
+        cq = CompletionQueue()
+        for i in range(20):
+            cq.push(i, float(i))
+        first = cq.poll(max_entries=16)
+        assert len(first) == 16 and len(cq) == 4
+        assert [c.msg_id for c in first] == list(range(16))
+        assert len(cq.poll()) == 4
+
+    def test_poll_empty(self):
+        assert CompletionQueue().poll() == []
