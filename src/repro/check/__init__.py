@@ -1,0 +1,16 @@
+"""Online protocol-invariant checking for the Cepheus fabric.
+
+`repro.check` is correctness tooling, not simulation machinery: the
+:class:`~repro.check.invariants.InvariantMonitor` taps the observer
+hooks exposed by the simulator, switch/accelerator and QP layers and
+asserts the paper's reliability invariants (§III-D, §V) on every event.
+The chaos harness (:mod:`repro.harness.chaos`) and the property tests
+run everything under this monitor so a regression in the feedback
+aggregation or failure-repair paths surfaces as a named violation
+instead of a silently wrong benchmark number.
+"""
+
+from repro.check.invariants import (InvariantMonitor, InvariantViolationError,
+                                    Violation)
+
+__all__ = ["InvariantMonitor", "InvariantViolationError", "Violation"]

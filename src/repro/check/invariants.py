@@ -1,0 +1,406 @@
+"""The InvariantMonitor: per-event protocol-invariant assertions.
+
+The reliability story of the paper (§III-D feedback aggregation, §V-C
+loss tolerance, §V-D safeguard) rests on a small set of safety
+invariants that must hold for *every* event, under any loss pattern,
+failure schedule or source rotation:
+
+``psn-contiguity``
+    A sender never skips a PSN: the first transmission of PSN *p*
+    implies every PSN below *p* was transmitted before (§III-A — the
+    commodity RNIC numbers the stream densely; a gap on the wire means
+    corrupted send-queue state).
+``delivery-order`` / ``duplicate-delivery`` / ``duplicate-message``
+    Exactly-once, in-order delivery per receiver QP (invariant 1 of
+    DESIGN.md): delivered PSNs advance by exactly one and a message id
+    completes at most once per receiver.
+``ack-overclaim`` / ``ack-regression``
+    The min-AckPSN rule (§III-D): an aggregated ACK(p) may only be
+    emitted when every downstream MDT path has cumulatively
+    acknowledged at least *p*, and the aggregate never moves backwards.
+``nack-covers-loss``
+    The MePSN rule (§III-D): a NACK(e) may only be forwarded upstream
+    once every downstream path has acknowledged everything below *e* —
+    otherwise a later NACK could cover an earlier loss.
+``cnp-not-most-congested``
+    CNP filtering (§III-D): only the designated most-congested
+    downstream path's CNPs pass within an aging window.
+``retransmit-filter-miss`` / ``ingress-loop``
+    Retransmission filtering and ingress pruning: a replica is never
+    forwarded onto a path that already acknowledged its PSN (when the
+    filter is enabled) and never back out of its ingress port.
+``mft-*``
+    MFT structural consistency (Fig. 3): Path Index <-> Path Table
+    bijection, radix bound, AggAckPSN <= min AckPSN, AckOutPort is a
+    tree port — plus, on demand, MDT/topology consistency after
+    :class:`~repro.net.failures.FailureInjector` cuts and repairs.
+
+The monitor is *online*: it attaches to the observer hooks of
+:class:`~repro.core.feedback.FeedbackEngine`,
+:class:`~repro.core.accelerator.CepheusAccelerator` and
+:class:`~repro.transport.roce.RoceQP`, and optionally to the
+simulator's event tracer for sampled structural sweeps.  In the default
+(non-strict) mode violations are recorded and the run continues — the
+chaos harness needs the full trace to shrink a reproducer; ``strict=True``
+raises :class:`InvariantViolationError` at the first offence.
+
+Ablation configurations are respected: when a feature switch
+(``trigger_condition``, ``nack_aggregation``, ``cnp_filter``,
+``retransmit_filter``) is deliberately off, the corresponding check is
+skipped — the ablation benches *exist* to demonstrate those violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.mft import NO_ACK, Mft
+from repro.errors import ReproError
+from repro.net.packet import Packet, PacketType
+
+__all__ = ["InvariantMonitor", "InvariantViolationError", "Violation"]
+
+
+class InvariantViolationError(ReproError):
+    """A protocol invariant was violated (raised only in strict mode)."""
+
+
+@dataclass
+class Violation:
+    """One recorded invariant violation."""
+
+    invariant: str   # stable identifier, e.g. "ack-overclaim"
+    where: str       # offending component ("sw0", "qp host2:0x101", ...)
+    detail: str      # human-readable specifics
+    at: float = 0.0  # virtual time, when known
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"invariant": self.invariant, "where": self.where,
+                "detail": self.detail, "at": self.at}
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[{self.invariant}] {self.where} @ {self.at:.9f}: {self.detail}"
+
+
+def _min_downstream(mft: Mft) -> Optional[int]:
+    """Minimum AckPSN over downstream paths, side-effect-free (the
+    monitor must not touch the ``min_port`` cache the trigger uses)."""
+    best: Optional[int] = None
+    for e in mft.path_table:
+        if e.port == mft.ack_out_port:
+            continue
+        if best is None or e.ack_psn < best:
+            best = e.ack_psn
+    return best
+
+
+class InvariantMonitor:
+    """Collects (or raises on) protocol-invariant violations.
+
+    Attach with :meth:`attach_cluster` for full coverage, or piecewise
+    via :meth:`attach_engine` / :meth:`attach_accelerator` /
+    :meth:`attach_qp` for unit-level property tests.
+    """
+
+    def __init__(self, strict: bool = False, sweep_every: int = 4096) -> None:
+        self.strict = strict
+        self.sweep_every = sweep_every
+        self.violations: List[Violation] = []
+        self.events_checked = 0
+        self._now = 0.0
+        # sender side: per-QP high-water mark of transmitted PSNs
+        self._tx_hi: Dict[int, int] = {}
+        # receiver side: per-QP last delivered PSN + completed msg ids
+        self._rx_last: Dict[int, int] = {}
+        self._rx_msgs: Dict[int, Set[int]] = {}
+        self._qp_names: Dict[int, str] = {}
+        # per-MFT last aggregated ACK observed on the wire
+        self._agg_seen: Dict[int, int] = {}
+        self._fabrics: List[object] = []
+        self._installed_clusters: List[object] = []
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+
+    def attach_engine(self, engine) -> None:
+        """Monitor one :class:`FeedbackEngine` (unit-level use)."""
+        engine.observer = self
+
+    def attach_accelerator(self, accel) -> None:
+        accel.observer = self
+        accel.feedback.observer = self
+
+    def attach_qp(self, qp) -> None:
+        qp.observer = self
+        self._qp_names[id(qp)] = f"{qp.nic.name}:qp{qp.qpn:#x}"
+
+    def attach_fabric(self, fabric) -> None:
+        for accel in fabric.accelerators.values():
+            self.attach_accelerator(accel)
+        self._fabrics.append(fabric)
+
+    def attach_cluster(self, cluster, trace: bool = True) -> None:
+        """Tap every layer of a :class:`~repro.apps.cluster.Cluster`:
+        all accelerators, all existing QPs, QPs created later (via the
+        class-level default observer), and — when ``trace`` — the
+        simulator event loop for sampled structural sweeps."""
+        from repro.transport.roce import RoceQP
+
+        if cluster.fabric is not None:
+            self.attach_fabric(cluster.fabric)
+        for ctx in cluster.ctxs.values():
+            for qp in ctx.qps:
+                self.attach_qp(qp)
+        RoceQP.default_observer = self
+        if trace:
+            cluster.sim.tracer = self.on_event
+        self._installed_clusters.append(cluster)
+
+    def detach(self) -> None:
+        """Undo cluster-level installation (class default + tracers)."""
+        from repro.transport.roce import RoceQP
+
+        if RoceQP.default_observer is self:
+            RoceQP.default_observer = None
+        for cluster in self._installed_clusters:
+            if cluster.sim.tracer == self.on_event:
+                cluster.sim.tracer = None
+        self._installed_clusters.clear()
+
+    # ------------------------------------------------------------------
+    # verdicts
+    # ------------------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def assert_clean(self) -> None:
+        if self.violations:
+            head = "; ".join(str(v) for v in self.violations[:5])
+            raise InvariantViolationError(
+                f"{len(self.violations)} invariant violation(s): {head}")
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "events_checked": self.events_checked,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def _flag(self, invariant: str, where: str, detail: str) -> None:
+        v = Violation(invariant, where, detail, self._now)
+        self.violations.append(v)
+        if self.strict:
+            raise InvariantViolationError(str(v))
+
+    # ------------------------------------------------------------------
+    # simulator tap: sampled online structural sweeps
+    # ------------------------------------------------------------------
+
+    def on_event(self, now: float) -> None:
+        self._now = now
+        self.events_checked += 1
+        if self._fabrics and self.events_checked % self.sweep_every == 0:
+            for fabric in self._fabrics:
+                # Links may legitimately be down mid-run (failures are
+                # being injected); only structural state is swept online.
+                self.check_mft_consistency(fabric, expect_connected=False)
+
+    # ------------------------------------------------------------------
+    # QP taps: PSN contiguity + exactly-once delivery
+    # ------------------------------------------------------------------
+
+    def _qp_name(self, qp) -> str:
+        key = id(qp)
+        name = self._qp_names.get(key)
+        if name is None:
+            name = self._qp_names[key] = f"{qp.nic.name}:qp{qp.qpn:#x}"
+        return name
+
+    def on_qp_send(self, qp, pkt: Packet) -> None:
+        self._now = qp.sim.now
+        self.events_checked += 1
+        if pkt.ptype != PacketType.DATA:
+            return
+        key = id(qp)
+        hi = self._tx_hi.get(key)
+        if hi is None:
+            # First observed transmission sets the base: QPs begin at a
+            # synchronized stream position (0, or rqPSN after a §III-E
+            # source switch), either is legitimate.
+            self._tx_hi[key] = pkt.psn
+            return
+        if pkt.psn > hi + 1 and self._rx_last.get(key, -1) < pkt.psn - 1:
+            # Multicast QPs share one bridged PSN stream (§III-E): a QP
+            # that *delivered* PSNs while another member was source may
+            # legitimately resume sending above its own tx high-water.
+            # A gap covered by neither its sends nor its deliveries is a
+            # skipped PSN.
+            self._flag("psn-contiguity", self._qp_name(qp),
+                       f"DATA psn {pkt.psn} transmitted but {hi + 1}.."
+                       f"{pkt.psn - 1} never were (skipped PSN)")
+        if pkt.psn > hi:
+            self._tx_hi[key] = pkt.psn
+
+    def on_qp_deliver(self, qp, pkt: Packet) -> None:
+        self._now = qp.sim.now
+        self.events_checked += 1
+        key = id(qp)
+        last = self._rx_last.get(key)
+        if last is not None:
+            if pkt.psn <= last:
+                self._flag("duplicate-delivery", self._qp_name(qp),
+                           f"psn {pkt.psn} delivered again (last={last})")
+            elif (pkt.psn != last + 1
+                  and self._tx_hi.get(key, -1) < pkt.psn - 1):
+                # Mirror of the send-side exemption: the stretch a QP
+                # transmitted as source never arrives on its own receive
+                # side, so its delivery stream resumes above it.
+                self._flag("delivery-order", self._qp_name(qp),
+                           f"psn {pkt.psn} delivered after {last} "
+                           f"(gap of {pkt.psn - last - 1})")
+        if last is None or pkt.psn > last:
+            self._rx_last[key] = pkt.psn
+        if pkt.last:
+            done = self._rx_msgs.setdefault(key, set())
+            if pkt.msg_id in done:
+                self._flag("duplicate-message", self._qp_name(qp),
+                           f"message {pkt.msg_id} completed twice")
+            done.add(pkt.msg_id)
+
+    # ------------------------------------------------------------------
+    # feedback taps: min-AckPSN, MePSN, CNP filter
+    # ------------------------------------------------------------------
+
+    def on_feedback(self, engine, mft: Mft, kind: PacketType,
+                    in_port: int, value: int, emits) -> None:
+        self.events_checked += 1
+        where = f"mft {mft.mcst_id:#x}"
+        m_true = _min_downstream(mft)
+        for ptype, psn in emits:
+            if ptype == PacketType.ACK:
+                if m_true is None or psn > m_true:
+                    self._flag("ack-overclaim", where,
+                               f"aggregated ACK({psn}) emitted but min "
+                               f"downstream AckPSN is {m_true}")
+                prev = self._agg_seen.get(id(mft))
+                if prev is not None and psn < prev:
+                    self._flag("ack-regression", where,
+                               f"aggregated ACK({psn}) after ACK({prev})")
+                self._agg_seen[id(mft)] = psn
+            elif ptype == PacketType.NACK:
+                if engine.cfg.nack_aggregation:
+                    lagging = [e.port for e in mft.path_table
+                               if e.port != mft.ack_out_port
+                               and e.ack_psn < psn - 1]
+                    if lagging:
+                        self._flag(
+                            "nack-covers-loss", where,
+                            f"NACK({psn}) forwarded while ports {lagging} "
+                            f"have not acknowledged below it (MePSN rule)")
+            elif ptype == PacketType.CNP:
+                if engine.cfg.cnp_filter:
+                    counts = mft.cnp_counters
+                    if in_port != mft.cnp_max_port:
+                        self._flag("cnp-not-most-congested", where,
+                                   f"CNP passed from port {in_port} but "
+                                   f"designated port is {mft.cnp_max_port}")
+                    elif counts and counts.get(in_port, 0) != max(counts.values()):
+                        self._flag("cnp-not-most-congested", where,
+                                   f"CNP passed from port {in_port} whose "
+                                   f"count {counts.get(in_port, 0)} is not "
+                                   f"the window maximum {max(counts.values())}")
+
+    # ------------------------------------------------------------------
+    # accelerator tap: replication filtering / pruning
+    # ------------------------------------------------------------------
+
+    def on_replicate(self, accel, mft: Mft, pkt: Packet,
+                     in_port: int, targets) -> None:
+        self._now = accel.switch.sim.now
+        self.events_checked += 1
+        where = accel.switch.name
+        for e in targets:
+            if e.port == in_port:
+                self._flag("ingress-loop", where,
+                           f"group {mft.mcst_id:#x}: replica of psn "
+                           f"{pkt.psn} sent back out ingress port {in_port}")
+            if accel.cfg.retransmit_filter and pkt.psn <= e.ack_psn:
+                self._flag("retransmit-filter-miss", where,
+                           f"group {mft.mcst_id:#x}: psn {pkt.psn} "
+                           f"re-forwarded to port {e.port} which already "
+                           f"acknowledged {e.ack_psn}")
+
+    # ------------------------------------------------------------------
+    # structural sweeps: MFT <-> topology consistency
+    # ------------------------------------------------------------------
+
+    def check_mft_consistency(self, fabric, expect_connected: bool = False,
+                              injector=None) -> None:
+        """Verify every MFT on every accelerator of ``fabric``.
+
+        ``expect_connected=True`` additionally requires every MDT port to
+        sit on a live link — call this after all failures are repaired.
+        ``injector`` (a :class:`FailureInjector`) lets the sweep verify
+        the injector's own severed-link bookkeeping too.
+        """
+        for name, accel in sorted(fabric.accelerators.items()):
+            sw = accel.switch
+            for mcst_id, mft in accel.table.items():
+                where = f"{name}/mft {mcst_id:#x}"
+                rows = mft.path_table
+                if len(rows) > sw.n_ports:
+                    self._flag("mft-radix", where,
+                               f"{len(rows)} paths exceed radix {sw.n_ports}")
+                seen_ports: Set[int] = set()
+                for i, e in enumerate(rows):
+                    if e.port in seen_ports:
+                        self._flag("mft-duplicate-port", where,
+                                   f"port {e.port} appears twice in the "
+                                   f"path table")
+                    seen_ports.add(e.port)
+                    if not (0 <= e.port < sw.n_ports):
+                        self._flag("mft-bad-port", where,
+                                   f"path row {i} references port {e.port}")
+                        continue
+                    if mft.path_index[e.port] != i + 1:
+                        self._flag("mft-index-mismatch", where,
+                                   f"path_index[{e.port}] = "
+                                   f"{mft.path_index[e.port]}, row is {i}")
+                    if e.is_host and not sw.is_host_port(e.port):
+                        self._flag("mft-bridging-port", where,
+                                   f"host-facing entry on non-host port "
+                                   f"{e.port}")
+                    if expect_connected and not sw.ports[e.port].connected:
+                        self._flag("mft-severed-path", where,
+                                   f"MDT port {e.port} has no live link")
+                for port, idx in enumerate(mft.path_index):
+                    if idx and not (1 <= idx <= len(rows)):
+                        self._flag("mft-dangling-index", where,
+                                   f"path_index[{port}] = {idx} but table "
+                                   f"has {len(rows)} rows")
+                if (mft.ack_out_port is not None
+                        and not mft.has_port(mft.ack_out_port)):
+                    self._flag("mft-ackout-unknown", where,
+                               f"AckOutPort {mft.ack_out_port} is not a "
+                               f"tree port")
+                m = _min_downstream(mft)
+                if (m is not None and mft.agg_ack_psn != NO_ACK
+                        and mft.agg_ack_psn > m):
+                    self._flag("mft-agg-above-min", where,
+                               f"AggAckPSN {mft.agg_ack_psn} above min "
+                               f"downstream AckPSN {m}")
+        if injector is not None:
+            self._check_injector(injector)
+
+    def _check_injector(self, injector) -> None:
+        """The injector's severed map must mirror the port state."""
+        for (dev_id, port), (peer, peer_port) in injector._severed.items():
+            if peer.ports[peer_port].connected:
+                # The reverse direction of a severed link must be cut too
+                # (fail_link severs both; a half-open link would silently
+                # deliver one direction).
+                self._flag("injector-half-open", f"port {peer_port}",
+                           "severed link has a live reverse direction")

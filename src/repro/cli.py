@@ -7,6 +7,8 @@ Installed as the ``cepheus-repro`` console script::
     cepheus-repro demo                           # 60-second tour
     cepheus-repro sweep --sizes 64,1048576 --groups 4,8 \
                         --algorithms cepheus,chain
+    cepheus-repro chaos run --seed 7 --trials 5  # invariant-checked chaos
+    cepheus-repro chaos replay repro.json        # re-run a reproducer
     cepheus-repro info                           # model constants
 """
 
@@ -71,6 +73,68 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _chaos_config(args) -> "object":
+    from repro.harness.chaos import ChaosConfig
+
+    if args.mutate and args.mutate != "psn-skip":
+        raise SystemExit(f"unknown mutation {args.mutate!r} "
+                         f"(available: psn-skip)")
+    return ChaosConfig(
+        topo=args.topo, hosts=args.hosts, k=args.k,
+        messages=args.messages, msg_packets=args.msg_packets,
+        incidents=args.incidents, horizon=args.horizon,
+        loss_rate=args.loss_rate, mutate=args.mutate or None,
+    )
+
+
+def _cmd_chaos_run(args) -> int:
+    import json
+
+    from repro.harness.chaos import run_campaign
+
+    cfg = _chaos_config(args)
+    campaign = run_campaign(cfg, seed=args.seed, trials=args.trials,
+                            shrink=not args.no_shrink)
+    doc = json.dumps(campaign, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(doc + "\n")
+    else:
+        print(doc)
+    n_fail = len(campaign["failing_trials"])
+    print(f"chaos: {args.trials} trial(s), {n_fail} failing "
+          f"(seed={args.seed})", file=sys.stderr)
+    if n_fail and args.repro_dir:
+        import os
+
+        os.makedirs(args.repro_dir, exist_ok=True)
+        for rep in campaign["reproducers"]:
+            path = os.path.join(args.repro_dir,
+                                f"chaos-seed{args.seed}-t{rep['trial']}.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(rep, indent=2, sort_keys=True) + "\n")
+            print(f"chaos: reproducer written to {path}", file=sys.stderr)
+    return 3 if n_fail else 0
+
+
+def _cmd_chaos_replay(args) -> int:
+    import json
+
+    from repro.harness.chaos import replay_reproducer
+
+    try:
+        record = replay_reproducer(args.file)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"chaos: cannot replay {args.file}: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(record, indent=2, sort_keys=True))
+    if record["failing"]:
+        print("chaos: reproducer still failing", file=sys.stderr)
+        return 3
+    print("chaos: reproducer no longer fails (fixed?)", file=sys.stderr)
+    return 0
+
+
 def _cmd_info(args) -> int:
     print("Cepheus reproduction — model constants (repro/constants.py)\n")
     entries = [
@@ -120,6 +184,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--groups", default="4")
     p_sweep.add_argument("--algorithms", default="cepheus,binomial,chain")
     p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="deterministic invariant-checked chaos campaigns")
+    chaos_sub = p_chaos.add_subparsers(dest="chaos_command", required=True)
+
+    p_run = chaos_sub.add_parser(
+        "run", help="run N seeded trials, shrink any failure")
+    p_run.add_argument("--seed", type=int, default=1)
+    p_run.add_argument("--trials", type=int, default=5)
+    p_run.add_argument("--topo", default="star",
+                       choices=("star", "fat_tree"))
+    p_run.add_argument("--hosts", type=int, default=6)
+    p_run.add_argument("--k", type=int, default=4,
+                       help="fat-tree arity (fat_tree topo only)")
+    p_run.add_argument("--messages", type=int, default=3)
+    p_run.add_argument("--msg-packets", type=int, default=8)
+    p_run.add_argument("--incidents", type=int, default=2)
+    p_run.add_argument("--horizon", type=float, default=0.04,
+                       help="virtual seconds of traffic per trial")
+    p_run.add_argument("--loss-rate", type=float, default=0.0)
+    p_run.add_argument("--mutate", default="",
+                       help="arm a deliberate protocol mutation "
+                            "(e.g. psn-skip) to self-test the monitor")
+    p_run.add_argument("--no-shrink", action="store_true",
+                       help="skip reproducer minimization")
+    p_run.add_argument("--out", default="",
+                       help="write campaign JSON here instead of stdout")
+    p_run.add_argument("--repro-dir", default="",
+                       help="directory for per-failure reproducer files")
+    p_run.set_defaults(fn=_cmd_chaos_run)
+
+    p_replay = chaos_sub.add_parser(
+        "replay", help="re-execute a reproducer JSON file")
+    p_replay.add_argument("file")
+    p_replay.set_defaults(fn=_cmd_chaos_replay)
 
     p_info = sub.add_parser("info", help="print the model constants")
     p_info.set_defaults(fn=_cmd_info)

@@ -82,6 +82,11 @@ class CepheusAccelerator:
                                * self.cfg.lookaside_port_bw)
         self._lookaside_free_at = 0.0
         self.lookaside_detours = 0
+        # Optional tap: observer.on_replicate(accel, mft, pkt, in_port,
+        # targets) fires after the replication/filter decision for every
+        # multicast DATA packet (the InvariantMonitor's view of ingress
+        # pruning and retransmission filtering).
+        self.observer = None
         # instrumentation
         self.data_in = 0
         self.replicas_out = 0
@@ -234,6 +239,8 @@ class CepheusAccelerator:
                 self.retransmits_filtered += 1
                 continue
             targets.append(e)
+        if self.observer is not None:
+            self.observer.on_replicate(self, mft, pkt, in_port, targets)
         last = len(targets) - 1
         for i, e in enumerate(targets):
             replica = pkt if i == last else pkt.clone()

@@ -61,6 +61,11 @@ class FeedbackEngine:
         self.nacks_out = 0
         self.cnps_in = 0
         self.cnps_out = 0
+        # Optional tap: called as observer.on_feedback(engine, mft, kind,
+        # in_port, value, emits) after every feedback event is processed.
+        # The InvariantMonitor uses it to verify the min-AckPSN, MePSN and
+        # CNP-filter rules on every emission.
+        self.observer = None
 
     # ------------------------------------------------------------------
     # ACK / NACK
@@ -69,7 +74,11 @@ class FeedbackEngine:
     def on_ack(self, mft: Mft, in_port: int, psn: int) -> List[Emit]:
         """An ACK (original or already-aggregated) arrived on ``in_port``."""
         self.acks_in += 1
-        return self._record_and_trigger(mft, in_port, psn)
+        emits = self._record_and_trigger(mft, in_port, psn)
+        if self.observer is not None:
+            self.observer.on_feedback(self, mft, PacketType.ACK,
+                                      in_port, psn, emits)
+        return emits
 
     def on_nack(self, mft: Mft, in_port: int, epsn: int) -> List[Emit]:
         """A NACK arrived.  Per RoCE semantics it also acknowledges every
@@ -79,10 +88,15 @@ class FeedbackEngine:
             # Ablation: forward immediately — exhibits the inter-covering
             # issue the paper warns about.
             self.nacks_out += 1
-            return [(PacketType.NACK, epsn)]
-        if mft.me_psn is None or epsn < mft.me_psn:
-            mft.me_psn = epsn
-        return self._record_and_trigger(mft, in_port, epsn - 1)
+            emits = [(PacketType.NACK, epsn)]
+        else:
+            if mft.me_psn is None or epsn < mft.me_psn:
+                mft.me_psn = epsn
+            emits = self._record_and_trigger(mft, in_port, epsn - 1)
+        if self.observer is not None:
+            self.observer.on_feedback(self, mft, PacketType.NACK,
+                                      in_port, epsn, emits)
+        return emits
 
     def _record_and_trigger(self, mft: Mft, in_port: int, cum_ack: int) -> List[Emit]:
         entry = mft.entry(in_port)
@@ -142,6 +156,13 @@ class FeedbackEngine:
         """Pass the CNP only when ``in_port`` is (one of) the most
         congested downstream links inside the current aging window."""
         self.cnps_in += 1
+        emits = self._cnp_emits(mft, in_port, now)
+        if self.observer is not None:
+            self.observer.on_feedback(self, mft, PacketType.CNP,
+                                      in_port, 0, emits)
+        return emits
+
+    def _cnp_emits(self, mft: Mft, in_port: int, now: float) -> List[Emit]:
         if not self.cfg.cnp_filter:
             self.cnps_out += 1
             return [(PacketType.CNP, 0)]

@@ -177,6 +177,11 @@ class MftTable:
     def remove(self, mcst_id: int) -> None:
         self._tables.pop(mcst_id, None)
 
+    def items(self) -> "List[tuple[int, Mft]]":
+        """(McstID, Mft) pairs in deterministic McstID order — the
+        iteration surface the InvariantMonitor's consistency sweeps use."""
+        return sorted(self._tables.items())
+
     def __len__(self) -> int:
         return len(self._tables)
 

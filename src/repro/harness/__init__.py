@@ -1,5 +1,10 @@
-"""Experiment harness: one entry per paper table/figure + ablations."""
+"""Experiment harness: one entry per paper table/figure + ablations,
+plus the deterministic chaos campaign runner (`repro.harness.chaos`)."""
 
+from repro.harness.chaos import (ChaosConfig, Incident, Schedule,
+                                 generate_schedule, load_reproducer,
+                                 replay_reproducer, run_campaign, run_trial,
+                                 shrink_schedule)
 from repro.harness.report import (ExperimentResult, ascii_chart, fmt_size,
                                   fmt_time, format_table, ratio)
 from repro.harness.runner import ALL_EXPERIMENTS, run_experiments
@@ -11,5 +16,8 @@ from repro.harness.workloads import (DNN_UPDATES, MIXED, QUERY,
 __all__ = ["ExperimentResult", "fmt_size", "fmt_time", "format_table",
            "ratio", "ascii_chart", "ALL_EXPERIMENTS", "run_experiments",
            "BcastSweep",
+           "ChaosConfig", "Incident", "Schedule", "generate_schedule",
+           "run_trial", "run_campaign", "shrink_schedule",
+           "load_reproducer", "replay_reproducer",
            "SizeDistribution", "PoissonArrivals", "MulticastWorkload",
            "QUERY", "STORAGE_REPLICATION", "DNN_UPDATES", "MIXED"]

@@ -48,6 +48,12 @@ class FailureInjector:
             self.sim.schedule(max(0.0, at - self.sim.now),
                               self.fail_link, dev_a, port_a)
             return
+        if (id(dev_a), port_a) in self._severed:
+            # Already down (double-fail, or a scheduled failure firing
+            # while the link is still cut): yanking a yanked cable is a
+            # no-op, not an error — crucial for `at=` events that race
+            # with explicit failures.
+            return
         pa = dev_a.ports[port_a]
         if not pa.connected:
             raise TopologyError(f"port {port_a} of {dev_a} has no link")

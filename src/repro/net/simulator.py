@@ -61,6 +61,10 @@ class Simulator:
         self._heap: List[Tuple[float, int, Event]] = []
         self._seq: int = 0
         self._events_run: int = 0
+        # Optional per-event tap, called as tracer(now) before each event
+        # executes.  The InvariantMonitor uses it to run sampled online
+        # consistency sweeps; None keeps the hot loop branch-cheap.
+        self.tracer: Optional[Callable[[float], None]] = None
 
     # -- scheduling --------------------------------------------------------
 
@@ -109,6 +113,8 @@ class Simulator:
             if ev.cancelled:
                 continue
             self.now = when
+            if self.tracer is not None:
+                self.tracer(when)
             ev.fn(*ev.args)
             executed += 1
             if max_events is not None and executed > max_events:

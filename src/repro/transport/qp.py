@@ -20,7 +20,16 @@ from typing import Any, Callable, Optional
 
 from repro.net.packet import RdmaOp
 
-__all__ = ["QpStateName", "SendMessage", "RecvState"]
+__all__ = ["QpStateName", "SendMessage", "RecvState", "psn_tx_hook"]
+
+#: Test-only fault-injection hook.  When set to a callable
+#: ``hook(qp, psn) -> int``, the RoCE engine stamps the returned value
+#: as the wire PSN of every outgoing DATA packet (the QP's internal
+#: sequencing state is untouched).  The mutation smoke tests use it to
+#: deliberately skip a PSN and prove the InvariantMonitor flags the
+#: violation — a guard against false negatives in the checker itself.
+#: Production code must leave it as None.
+psn_tx_hook: Optional[Callable[[Any, int], int]] = None
 
 
 class QpStateName(enum.Enum):

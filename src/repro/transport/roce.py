@@ -28,6 +28,7 @@ from repro.net.simulator import Event, Simulator
 from repro.net.trace import ThroughputSampler
 from repro.transport.dcqcn import DcqcnConfig, DcqcnRateController
 from repro.transport.memory import MrTable
+from repro.transport import qp as qp_state
 from repro.transport.qp import QpStateName, RecvState, SendMessage
 
 __all__ = ["RoceConfig", "RoceQP"]
@@ -63,6 +64,11 @@ class RoceConfig:
 
 class RoceQP:
     """One RC queue pair: send engine + receive/responder engine."""
+
+    #: Default observer inherited by every new QP (see ``self.observer``).
+    #: The InvariantMonitor's cluster attachment points this at itself so
+    #: QPs created later (collectives create them lazily) are monitored.
+    default_observer = None
 
     def __init__(
         self,
@@ -105,6 +111,10 @@ class RoceQP:
         self._retx_queue: Deque[int] = deque()
         self._retx_last: Dict[int, float] = {}
         self.on_message: Optional[Callable[[int, int, float, Any], None]] = None
+        # Optional protocol tap: observer.on_qp_send(qp, pkt) on every
+        # DATA transmission, observer.on_qp_deliver(qp, pkt) on every
+        # in-order delivery.  Used by repro.check.InvariantMonitor.
+        self.observer = RoceQP.default_observer
 
         # --- instrumentation ---------------------------------------------
         self.tx_data_packets = 0
@@ -211,6 +221,8 @@ class RoceQP:
                 self._pump()
                 return
             pkt = self._packet_for(psn)
+            if self.observer is not None:
+                self.observer.on_qp_send(self, pkt)
             self.nic.send(pkt)
             self.tx_data_packets += 1
             self.retransmitted_packets += 1
@@ -220,7 +232,10 @@ class RoceQP:
             self._arm_rto()
             self._pump()
             return
-        pkt = self._packet_for(self.snd_nxt)
+        psn = self.snd_nxt
+        pkt = self._packet_for(psn)
+        if self.observer is not None:
+            self.observer.on_qp_send(self, pkt)
         self.nic.send(pkt)
         self.tx_data_packets += 1
         if pkt.retransmit:
@@ -234,8 +249,9 @@ class RoceQP:
         if pkt.last and not pkt.retransmit:
             # "Local send done": the WQE's last byte hit the wire.  MPI
             # implementations chain the next blocking send off this, not
-            # off the remote ACK.
-            msg = self._msg_containing(pkt.psn)
+            # off the remote ACK.  Looked up by the true sequence PSN —
+            # pkt.psn is the wire value, which fault hooks may corrupt.
+            msg = self._msg_containing(psn)
             if msg.on_sent is not None and not msg.sent_notified:
                 msg.sent_notified = True
                 msg.on_sent(msg.msg_id, self.sim.now)
@@ -247,9 +263,14 @@ class RoceQP:
         mtu = self.cfg.mtu
         offset = (psn - msg.first_psn) * mtu
         payload = min(mtu, msg.size - offset)
+        wire_psn = psn
+        if qp_state.psn_tx_hook is not None:
+            # Test-only fault injection: corrupt the wire PSN while the
+            # send-queue state keeps the true sequence (see qp.psn_tx_hook).
+            wire_psn = qp_state.psn_tx_hook(self, psn)
         return Packet(
             PacketType.DATA, self.nic.ip, self.dst_ip,
-            src_qp=self.qpn, dst_qp=self.dst_qp, psn=psn,
+            src_qp=self.qpn, dst_qp=self.dst_qp, psn=wire_psn,
             payload=payload, op=msg.op, msg_id=msg.msg_id,
             first=(psn == msg.first_psn), last=(psn == msg.last_psn),
             vaddr=msg.vaddr + offset, rkey=msg.rkey,
@@ -345,6 +366,8 @@ class RoceQP:
                 self._send_nack()
 
     def _deliver(self, pkt: Packet) -> None:
+        if self.observer is not None:
+            self.observer.on_qp_deliver(self, pkt)
         rs = self.recv
         if pkt.first:
             rs.cur_msg_id = pkt.msg_id

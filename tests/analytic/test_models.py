@@ -62,6 +62,7 @@ class TestModelShape:
                 < chain_jct(size, n, NET, slices=4))
 
 
+@pytest.mark.slow  # Tier-2: replays packet-engine runs per size/n cell
 class TestValidationAgainstPacketEngine:
     """The models must track the packet engine where Fig. 12 stitches
     them in.  Tolerances reflect each model's documented accuracy."""

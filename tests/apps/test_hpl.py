@@ -2,6 +2,8 @@
 
 import pytest
 
+pytestmark = pytest.mark.slow  # Tier-2: HPL phase replays broadcast many panels.
+
 from repro.apps import Cluster, HplConfig, HplModel
 from repro.errors import ConfigurationError
 

@@ -1,0 +1,210 @@
+"""InvariantMonitor unit tests + the mutation smoke tests.
+
+A checker that never fires is worse than no checker: the mutation tests
+deliberately corrupt one protocol invariant at a time (via the
+``psn_tx_hook`` fault hook and hand-built broken MFTs) and assert the
+monitor flags exactly that violation.
+"""
+
+import pytest
+
+from repro import constants
+from repro.apps import Cluster
+from repro.check import InvariantMonitor, InvariantViolationError
+from repro.collectives import CepheusBcast
+from repro.core.feedback import FeedbackEngine
+from repro.core.mft import Mft, PathEntry
+from repro.net.packet import PacketType
+from repro.transport import qp as qp_state
+from repro.transport.roce import RoceConfig
+
+
+# ---------------------------------------------------------------------------
+# clean runs stay clean
+# ---------------------------------------------------------------------------
+
+def test_clean_broadcast_produces_no_violations(testbed):
+    monitor = InvariantMonitor()
+    monitor.attach_cluster(testbed)
+    try:
+        algo = CepheusBcast(testbed, testbed.host_ips)
+        r = algo.run(16 * constants.MTU_BYTES)
+        assert len(r.recv_times) == 3
+        assert monitor.ok
+        assert monitor.events_checked > 0
+        monitor.check_mft_consistency(testbed.fabric, expect_connected=True)
+        monitor.assert_clean()
+    finally:
+        monitor.detach()
+
+
+def test_detach_restores_class_observer(testbed):
+    from repro.transport.roce import RoceQP
+
+    monitor = InvariantMonitor()
+    monitor.attach_cluster(testbed)
+    assert RoceQP.default_observer is monitor
+    assert testbed.sim.tracer is not None
+    monitor.detach()
+    assert RoceQP.default_observer is None
+    assert testbed.sim.tracer is None
+
+
+def test_summary_shape(testbed):
+    monitor = InvariantMonitor()
+    monitor.attach_cluster(testbed)
+    try:
+        CepheusBcast(testbed, testbed.host_ips).run(constants.MTU_BYTES)
+    finally:
+        monitor.detach()
+    s = monitor.summary()
+    assert s["violations"] == []
+    assert s["events_checked"] == monitor.events_checked
+
+
+# ---------------------------------------------------------------------------
+# mutation smoke: a seeded PSN skip must be detected
+# ---------------------------------------------------------------------------
+
+def test_mutation_psn_skip_is_flagged(testbed):
+    """THE checker-vs-checker guard: corrupt the wire PSN stream (skip
+    one PSN mid-message) and require the monitor to notice."""
+    monitor = InvariantMonitor()
+    monitor.attach_cluster(testbed)
+    skip_at = 5
+    qp_state.psn_tx_hook = (
+        lambda qp, psn: psn + 1 if psn >= skip_at else psn)
+    try:
+        algo = CepheusBcast(testbed, testbed.host_ips)
+        algo.prepare()
+        algo.qps[1].post_send(10 * constants.MTU_BYTES)
+        # The transfer can never complete (the skipped PSN is a
+        # permanent hole) — run a bounded window instead of draining.
+        testbed.sim.run(until=testbed.sim.now + 2e-3)
+    finally:
+        qp_state.psn_tx_hook = None
+        monitor.detach()
+    kinds = {v.invariant for v in monitor.violations}
+    assert "psn-contiguity" in kinds, monitor.summary()
+    with pytest.raises(InvariantViolationError):
+        monitor.assert_clean()
+
+
+def test_strict_mode_raises_at_first_violation(testbed):
+    monitor = InvariantMonitor(strict=True)
+    monitor.attach_cluster(testbed)
+    qp_state.psn_tx_hook = lambda qp, psn: psn + 1 if psn >= 3 else psn
+    try:
+        algo = CepheusBcast(testbed, testbed.host_ips)
+        algo.prepare()
+        algo.qps[1].post_send(8 * constants.MTU_BYTES)
+        with pytest.raises(InvariantViolationError):
+            testbed.sim.run(until=testbed.sim.now + 2e-3)
+    finally:
+        qp_state.psn_tx_hook = None
+        monitor.detach()
+
+
+def test_without_monitor_the_corruption_is_silent(testbed):
+    """Why the monitor exists: the same mutation without it produces no
+    exception at all — just a transfer that quietly never finishes."""
+    qp_state.psn_tx_hook = lambda qp, psn: psn + 1 if psn >= 5 else psn
+    try:
+        algo = CepheusBcast(testbed, testbed.host_ips)
+        algo.prepare()
+        done = {}
+        algo.qps[1].post_send(10 * constants.MTU_BYTES,
+                              on_complete=lambda m, t: done.setdefault("t", t))
+        testbed.sim.run(until=testbed.sim.now + 2e-3)
+        assert not done  # stalled forever, no error raised anywhere
+    finally:
+        qp_state.psn_tx_hook = None
+
+
+# ---------------------------------------------------------------------------
+# feedback-rule mutations (hand-driven engine)
+# ---------------------------------------------------------------------------
+
+GID = constants.MCSTID_BASE
+
+
+def _mft(n_ports):
+    mft = Mft(GID, n_ports + 1)
+    mft.add_entry(PathEntry(port=n_ports, is_host=False))
+    mft.ack_out_port = n_ports
+    for p in range(n_ports):
+        mft.add_entry(PathEntry(port=p, is_host=True))
+    return mft
+
+
+def test_ack_overclaim_mutation_is_flagged():
+    """Force an over-claimed aggregated ACK through the observer path
+    (as a buggy engine would emit it) and require `ack-overclaim`."""
+    eng = FeedbackEngine()
+    monitor = InvariantMonitor()
+    monitor.attach_engine(eng)
+    mft = _mft(3)
+    # only port 0 has acked psn 9; ports 1-2 are at NO_ACK
+    eng.on_ack(mft, 0, 9)
+    assert monitor.ok
+    # a buggy aggregation emitting ACK(9) anyway:
+    monitor.on_feedback(eng, mft, PacketType.ACK, 0, 9,
+                        [(PacketType.ACK, 9)])
+    assert {v.invariant for v in monitor.violations} == {"ack-overclaim"}
+
+
+def test_ack_regression_mutation_is_flagged():
+    eng = FeedbackEngine()
+    monitor = InvariantMonitor()
+    monitor.attach_engine(eng)
+    mft = _mft(2)
+    for p in (0, 1):
+        eng.on_ack(mft, p, 7)
+    assert monitor.ok  # legitimate aggregate ACK(7) observed
+    monitor.on_feedback(eng, mft, PacketType.ACK, 0, 3,
+                        [(PacketType.ACK, 3)])
+    assert "ack-regression" in {v.invariant for v in monitor.violations}
+
+
+def test_nack_covering_mutation_is_flagged():
+    eng = FeedbackEngine()
+    monitor = InvariantMonitor()
+    monitor.attach_engine(eng)
+    mft = _mft(3)
+    eng.on_ack(mft, 0, 5)   # ports 1-2 still at NO_ACK
+    assert monitor.ok
+    monitor.on_feedback(eng, mft, PacketType.NACK, 0, 6,
+                        [(PacketType.NACK, 6)])
+    assert "nack-covers-loss" in {v.invariant for v in monitor.violations}
+
+
+# ---------------------------------------------------------------------------
+# structural sweeps
+# ---------------------------------------------------------------------------
+
+def test_mft_consistency_flags_dangling_index(testbed):
+    algo = CepheusBcast(testbed, testbed.host_ips)
+    algo.prepare()
+    monitor = InvariantMonitor()
+    accel = next(iter(testbed.fabric.accelerators.values()))
+    mft = accel.mft_of(algo.group.mcst_id)
+    mft.path_index[0] = 99  # corrupt: index points past the path table
+    monitor.check_mft_consistency(testbed.fabric)
+    kinds = {v.invariant for v in monitor.violations}
+    assert "mft-dangling-index" in kinds
+
+
+def test_mft_consistency_flags_severed_path(testbed):
+    from repro.net.failures import FailureInjector
+
+    algo = CepheusBcast(testbed, testbed.host_ips)
+    algo.prepare()
+    inj = FailureInjector(testbed.topo)
+    inj.fail_host_link(2)
+    monitor = InvariantMonitor()
+    # online sweeps tolerate severed links ...
+    monitor.check_mft_consistency(testbed.fabric, expect_connected=False)
+    assert monitor.ok
+    # ... the post-repair sweep does not
+    monitor.check_mft_consistency(testbed.fabric, expect_connected=True)
+    assert "mft-severed-path" in {v.invariant for v in monitor.violations}

@@ -46,6 +46,7 @@ class TestBasics:
         assert spread < 2e-6
 
 
+@pytest.mark.slow  # Tier-2: 64MB broadcasts for the headline bands
 class TestPerformanceClaims:
     """The §V-A headline comparisons, asserted as bands."""
 

@@ -26,6 +26,7 @@ class TestChain:
         times = [r.recv_times[ip] for ip in ips[1:]]
         assert times == sorted(times)
 
+    @pytest.mark.slow  # Tier-2: repeats a large-message broadcast per slice count
     def test_more_slices_improve_large_message_jct(self):
         cl = Cluster.testbed(8)
         size = 32 << 20

@@ -2,6 +2,8 @@
 
 import pytest
 
+pytestmark = pytest.mark.slow  # Tier-2: multi-MB overlay broadcasts.
+
 from repro.apps import Cluster
 from repro.collectives.long_algo import LongBcast
 from repro.collectives.rdmc import RdmcBcast

@@ -2,6 +2,8 @@
 
 import pytest
 
+pytestmark = pytest.mark.slow  # Tier-2: full reduction/allreduce runs take tens of seconds.
+
 from repro.apps import Cluster
 from repro.collectives import (AllReduce, BinomialReduce, RingReduceScatter)
 from repro.collectives.reduce import REDUCE_COMPUTE_BPS

@@ -7,6 +7,8 @@ bands live in the benchmarks and EXPERIMENTS.md.
 
 import pytest
 
+pytestmark = pytest.mark.slow  # Tier-2: each experiment replays a full figure's sweep.
+
 from repro.harness import ablations, experiments
 
 

@@ -1,0 +1,132 @@
+"""FailureInjector edge cases: scheduled failures racing with repairs,
+double-fails, and severing a switch in the middle of a live MDT."""
+
+import pytest
+
+from repro import constants
+from repro.apps import Cluster
+from repro.check import InvariantMonitor
+from repro.collectives import CepheusBcast
+from repro.errors import TopologyError
+from repro.net import Simulator, star
+from repro.net.failures import FailureInjector
+from repro.transport.roce import RoceConfig
+
+
+def test_double_fail_same_link_is_idempotent(sim):
+    topo = star(sim, 2)
+    inj = FailureInjector(topo)
+    sw = topo.switches[0]
+    inj.fail_link(sw, 0)
+    inj.fail_link(sw, 0)  # yanking a yanked cable: no-op, no error
+    assert inj.active_failures == 1
+    inj.repair_link(sw, 0)
+    assert inj.active_failures == 0
+    assert sw.ports[0].connected
+
+
+def test_double_fail_from_peer_side_is_idempotent(sim):
+    """The second fail may name the *other* end of the same cable."""
+    topo = star(sim, 2)
+    inj = FailureInjector(topo)
+    sw = topo.switches[0]
+    nic = topo.nic(1)
+    inj.fail_link(sw, 0)
+    inj.fail_link(nic, 0)  # same physical link, peer end
+    assert inj.active_failures == 1
+    inj.repair_link(sw, 0)
+    assert sw.ports[0].connected
+    assert nic.ports[0].connected
+
+
+def test_scheduled_failure_firing_after_repair(sim):
+    """A `fail_link(at=...)` armed before an explicit fail/repair cycle
+    must re-cut the link when it fires — and stay repairable."""
+    topo = star(sim, 2)
+    inj = FailureInjector(topo)
+    sw = topo.switches[0]
+    inj.fail_link(sw, 0, at=10e-6)
+    inj.fail_link(sw, 0)        # explicit cut now
+    inj.repair_link(sw, 0)      # repaired before the timer fires
+    sim.run(until=20e-6)
+    assert not sw.ports[0].connected   # the scheduled cut landed
+    assert inj.active_failures == 1
+    inj.repair_link(sw, 0)
+    assert sw.ports[0].connected
+
+
+def test_scheduled_failure_firing_while_still_cut(sim):
+    """A scheduled failure that fires while the link is already down
+    must not corrupt the severed bookkeeping (no double-entry)."""
+    topo = star(sim, 2)
+    inj = FailureInjector(topo)
+    sw = topo.switches[0]
+    inj.fail_link(sw, 0)
+    inj.fail_link(sw, 0, at=10e-6)
+    sim.run(until=20e-6)
+    assert inj.active_failures == 1
+    inj.repair_link(sw, 0)
+    assert sw.ports[0].connected
+    # a second repair of the same link is an error, not a silent no-op
+    with pytest.raises(TopologyError):
+        inj.repair_link(sw, 0)
+
+
+def test_repair_unfailed_link_raises(sim):
+    topo = star(sim, 2)
+    inj = FailureInjector(topo)
+    with pytest.raises(TopologyError):
+        inj.repair_link(topo.switches[0], 0)
+
+
+def test_fail_switch_mid_mdt_feedback_path_severed():
+    """Black-hole a fat-tree aggregation switch on the live MDT mid-
+    transfer: the feedback path is severed, the sender stalls on RTO,
+    and after repair the transfer completes exactly once with every
+    protocol invariant intact."""
+    cl = Cluster.fat_tree_cluster(4, roce_config=RoceConfig(rto=200e-6))
+    monitor = InvariantMonitor()
+    monitor.attach_cluster(cl)
+    try:
+        # members span two pods so the MDT traverses agg/core switches
+        members = [1, 2, 5, 6]
+        algo = CepheusBcast(cl, members)
+        algo.prepare()
+        mdt = {a.switch.name for a in cl.fabric.mdt_switches(algo.group.mcst_id)}
+        victim = next(sw for sw in cl.topo.switches
+                      if sw.name in mdt and sw.layer in ("agg", "core"))
+        inj = FailureInjector(cl.topo)
+        sim = cl.sim
+        start = sim.now
+        inj.fail_switch(victim, at=start + 2e-6)
+        sim.schedule(50e-6, inj.repair_switch, victim)
+
+        counts = {ip: 0 for ip in members[1:]}
+        for ip in counts:
+            algo.qps[ip].on_message = (
+                lambda mid, sz, now, meta, _ip=ip: counts.__setitem__(
+                    _ip, counts[_ip] + 1))
+        done = {}
+        algo.qps[members[0]].post_send(
+            8 * constants.MTU_BYTES,
+            on_complete=lambda m, t: done.setdefault("t", t))
+        sim.run(until=start + 5e-3)
+        assert done, "sender never saw the aggregated final ACK"
+        assert all(c == 1 for c in counts.values()), counts
+        monitor.check_mft_consistency(cl.fabric, expect_connected=True,
+                                      injector=inj)
+        monitor.assert_clean()
+    finally:
+        monitor.detach()
+
+
+def test_double_fail_switch_is_idempotent(sim):
+    topo = star(sim, 3)
+    inj = FailureInjector(topo)
+    sw = topo.switches[0]
+    inj.fail_switch(sw)
+    inj.fail_switch(sw)
+    assert inj.active_failures == 1
+    inj.repair_switch(sw)
+    with pytest.raises(TopologyError):
+        inj.repair_switch(sw)

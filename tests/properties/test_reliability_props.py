@@ -3,7 +3,14 @@
 These drive the full stack — RoCE engine + accelerator + fabric — under
 hypothesis-chosen loss rates, group compositions and source-switch
 sequences, and assert exactly-once in-order delivery every time.
+
+Every case additionally runs under the
+:class:`~repro.check.InvariantMonitor`: beyond the explicit assertions,
+no protocol invariant (PSN contiguity, min-AckPSN aggregation, MePSN,
+CNP filtering, ...) may be violated along the way.
 """
+
+import contextlib
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -11,6 +18,7 @@ from hypothesis import strategies as st
 
 from repro import constants
 from repro.apps import Cluster
+from repro.check import InvariantMonitor
 from repro.net import Simulator, star
 from repro.net.switch import SwitchConfig
 from repro.transport.roce import RoceConfig
@@ -19,6 +27,20 @@ from repro.transport.verbs import VerbsContext
 SLOW = dict(max_examples=12, deadline=None,
             suppress_health_check=[HealthCheck.too_slow,
                                    HealthCheck.data_too_large])
+
+
+@contextlib.contextmanager
+def monitored(cluster):
+    """Attach an InvariantMonitor for the duration; assert it stayed
+    clean.  Detaches even on failure (the class-level QP observer must
+    not leak across hypothesis examples)."""
+    monitor = InvariantMonitor()
+    monitor.attach_cluster(cluster)
+    try:
+        yield monitor
+        monitor.assert_clean()
+    finally:
+        monitor.detach()
 
 
 @given(
@@ -37,6 +59,9 @@ def test_unicast_delivers_exactly_once_in_order(loss, npkts, seed, mode):
     qa, qb = a.create_qp(), b.create_qp()
     qa.connect(2, qb.qpn)
     qb.connect(1, qa.qpn)
+    monitor = InvariantMonitor()
+    monitor.attach_qp(qa)
+    monitor.attach_qp(qb)
     deliveries = []
     qb.on_message = lambda mid, size, now, meta: deliveries.append(size)
     size = npkts * constants.MTU_BYTES
@@ -44,6 +69,7 @@ def test_unicast_delivers_exactly_once_in_order(loss, npkts, seed, mode):
     sim.run(max_events=3_000_000)
     assert deliveries == [size]
     assert qa.send_idle
+    monitor.assert_clean()
 
 
 @given(
@@ -64,19 +90,21 @@ def test_multicast_delivers_exactly_once_to_every_member(
                          switch_config=SwitchConfig(loss_rate=loss, seed=seed),
                          roce_config=RoceConfig(rto=200e-6,
                                                 retransmit_mode=mode))
-    algo = CepheusBcast(cl, cl.host_ips)
-    algo.prepare()
-    counts = {ip: [] for ip in cl.host_ips[1:]}
-    for ip in counts:
-        algo.qps[ip].on_message = (
-            lambda mid, sz, now, meta, _ip=ip: counts[_ip].append(sz))
-    size = npkts * constants.MTU_BYTES
-    done = {}
-    algo.qps[1].post_send(size, on_complete=lambda m, t: done.setdefault("t", t))
-    cl.sim.run(max_events=5_000_000)
-    for ip, sizes in counts.items():
-        assert sizes == [size], f"host {ip} got {sizes}"
-    assert "t" in done  # sender saw the aggregated final ACK
+    with monitored(cl):
+        algo = CepheusBcast(cl, cl.host_ips)
+        algo.prepare()
+        counts = {ip: [] for ip in cl.host_ips[1:]}
+        for ip in counts:
+            algo.qps[ip].on_message = (
+                lambda mid, sz, now, meta, _ip=ip: counts[_ip].append(sz))
+        size = npkts * constants.MTU_BYTES
+        done = {}
+        algo.qps[1].post_send(size,
+                              on_complete=lambda m, t: done.setdefault("t", t))
+        cl.sim.run(max_events=5_000_000)
+        for ip, sizes in counts.items():
+            assert sizes == [size], f"host {ip} got {sizes}"
+        assert "t" in done  # sender saw the aggregated final ACK
 
 
 @given(
@@ -92,13 +120,15 @@ def test_mdt_reaches_arbitrary_member_sets(members, seed):
     from repro.collectives import CepheusBcast
 
     cl = Cluster.fat_tree_cluster(4)
-    algo = CepheusBcast(cl, sorted(members))
-    r = algo.run(3 * constants.MTU_BYTES)
-    expected = set(members) - {algo.root}
-    assert set(r.recv_times) == expected
-    for accel in cl.fabric.mdt_switches(algo.group.mcst_id):
-        mft = accel.mft_of(algo.group.mcst_id)
-        assert len(mft.path_table) <= accel.switch.n_ports
+    with monitored(cl) as monitor:
+        algo = CepheusBcast(cl, sorted(members))
+        r = algo.run(3 * constants.MTU_BYTES)
+        expected = set(members) - {algo.root}
+        assert set(r.recv_times) == expected
+        for accel in cl.fabric.mdt_switches(algo.group.mcst_id):
+            mft = accel.mft_of(algo.group.mcst_id)
+            assert len(mft.path_table) <= accel.switch.n_ports
+        monitor.check_mft_consistency(cl.fabric, expect_connected=True)
 
 
 @given(
@@ -113,11 +143,12 @@ def test_arbitrary_source_switch_sequences(sources):
     from repro.core.source_switch import psn_consistent
 
     cl = Cluster.testbed(4)
-    algo = CepheusBcast(cl, cl.host_ips)
-    algo.prepare()
-    for src_idx in sources:
-        src = cl.host_ips[src_idx]
-        algo.set_source(src)
-        assert psn_consistent(algo.group)
-        r = algo.run(2 * constants.MTU_BYTES)
-        assert set(r.recv_times) == set(cl.host_ips) - {src}
+    with monitored(cl):
+        algo = CepheusBcast(cl, cl.host_ips)
+        algo.prepare()
+        for src_idx in sources:
+            src = cl.host_ips[src_idx]
+            algo.set_source(src)
+            assert psn_consistent(algo.group)
+            r = algo.run(2 * constants.MTU_BYTES)
+            assert set(r.recv_times) == set(cl.host_ips) - {src}

@@ -2,6 +2,8 @@
 
 import pytest
 
+pytestmark = pytest.mark.slow  # Tier-2: 20ms virtual congestion runs are packet-heavy.
+
 from repro.apps import Cluster
 from repro.net.trace import ThroughputSampler
 
