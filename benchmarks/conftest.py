@@ -3,7 +3,10 @@
 Every benchmark runs its experiment exactly once (``pedantic`` with one
 round — these are minutes-long discrete-event simulations, not
 microbenchmarks), prints the paper-style table, and archives it under
-``benchmarks/results/`` so the output survives pytest's capture.
+``benchmarks/results/`` — both as the human-readable table
+(``<exp_id>.txt``) and as the canonical machine-readable payload
+(``<exp_id>.json``, the same ``ExperimentResult.to_json()`` document
+the BENCH trajectory files embed).
 """
 
 import pathlib
@@ -23,8 +26,9 @@ def record_result():
         text = format_table(result)
         print("\n" + text)
         RESULTS_DIR.mkdir(exist_ok=True)
-        path = RESULTS_DIR / f"{result.exp_id}.txt"
-        path.write_text(text + "\n")
+        (RESULTS_DIR / f"{result.exp_id}.txt").write_text(text + "\n")
+        (RESULTS_DIR / f"{result.exp_id}.json").write_text(
+            result.to_json() + "\n")
         return text
 
     return _record

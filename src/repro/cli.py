@@ -9,6 +9,8 @@ Installed as the ``cepheus-repro`` console script::
                         --algorithms cepheus,chain
     cepheus-repro chaos run --seed 7 --trials 5  # invariant-checked chaos
     cepheus-repro chaos replay repro.json        # re-run a reproducer
+    cepheus-repro bench emit --jobs 4            # parallel run -> BENCH_quick.json
+    cepheus-repro bench compare BENCH_quick.json benchmarks/baselines/BENCH_quick.json
     cepheus-repro info                           # model constants
 """
 
@@ -33,7 +35,7 @@ def _cmd_experiments(args) -> int:
         print(f"unknown experiments: {unknown}; "
               f"available: {sorted(ALL_EXPERIMENTS)}", file=sys.stderr)
         return 2
-    run_experiments(names, quick=not args.full)
+    run_experiments(names, quick=not args.full, jobs=args.jobs)
     return 0
 
 
@@ -135,6 +137,69 @@ def _cmd_chaos_replay(args) -> int:
     return 0
 
 
+def _cmd_bench_emit(args) -> int:
+    import json
+
+    from repro.harness.cache import DEFAULT_CACHE_DIR, ResultCache
+    from repro.harness.engine import run_engine
+    from repro.harness.runner import ALL_EXPERIMENTS
+
+    names = ([n.strip() for n in args.only.split(",") if n.strip()]
+             if args.only else list(ALL_EXPERIMENTS))
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; "
+              f"available: {sorted(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    quick = not args.full
+    run = run_engine(names, quick=quick, jobs=args.jobs, cache=cache,
+                     stream=sys.stdout if args.verbose else _NullStream())
+    out = args.out or ("BENCH_quick.json" if quick else "BENCH_full.json")
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(run.document(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"bench: {len(names)} experiment(s) in {run.total_wall_s:.1f}s "
+          f"({run.executed} executed, {run.cache_hits} cached, "
+          f"jobs={args.jobs}) -> {out}", file=sys.stderr)
+    return 0
+
+
+class _NullStream:
+    def write(self, _text: str) -> int:
+        return 0
+
+    def flush(self) -> None:
+        pass
+
+
+def _cmd_bench_compare(args) -> int:
+    from repro.harness import bench
+
+    try:
+        current = bench.load_document(args.current)
+        baseline = bench.load_document(args.baseline)
+        tolerances = (bench.load_tolerances(args.tolerances)
+                      if args.tolerances else None)
+    except (OSError, ValueError) as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
+    comp = bench.compare(current, baseline, tolerances)
+    print(comp.format(verbose=args.verbose))
+    if comp.ok:
+        print("bench: no regressions", file=sys.stderr)
+        return 0
+    print(f"bench: {len(comp.regressions)} metric regression(s), "
+          f"{len(comp.missing_experiments)} missing experiment(s)",
+          file=sys.stderr)
+    return 1
+
+
 def _cmd_info(args) -> int:
     print("Cepheus reproduction — model constants (repro/constants.py)\n")
     entries = [
@@ -172,6 +237,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated experiment ids")
     p_exp.add_argument("--full", action="store_true",
                        help="paper-scale parameters (slow)")
+    p_exp.add_argument("--jobs", type=int, default=1,
+                       help="experiment worker processes")
     p_exp.set_defaults(fn=_cmd_experiments)
 
     p_demo = sub.add_parser("demo", help="60-second broadcast comparison")
@@ -219,6 +286,38 @@ def build_parser() -> argparse.ArgumentParser:
         "replay", help="re-execute a reproducer JSON file")
     p_replay.add_argument("file")
     p_replay.set_defaults(fn=_cmd_chaos_replay)
+
+    p_bench = sub.add_parser(
+        "bench", help="machine-readable benchmark runs and regression diffs")
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    p_emit = bench_sub.add_parser(
+        "emit", help="run the suite (parallel, cached) and write BENCH JSON")
+    p_emit.add_argument("--full", action="store_true",
+                        help="paper-scale parameters (slow)")
+    p_emit.add_argument("--only", default="",
+                        help="comma-separated experiment ids")
+    p_emit.add_argument("--jobs", type=int, default=1,
+                        help="experiment worker processes")
+    p_emit.add_argument("--out", default="",
+                        help="output path (default BENCH_<mode>.json)")
+    p_emit.add_argument("--cache-dir", default="",
+                        help="result-cache directory (default .bench_cache)")
+    p_emit.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache")
+    p_emit.add_argument("--verbose", action="store_true",
+                        help="also print the paper-style tables")
+    p_emit.set_defaults(fn=_cmd_bench_emit)
+
+    p_cmp = bench_sub.add_parser(
+        "compare", help="diff two BENCH documents against tolerances")
+    p_cmp.add_argument("current", help="BENCH JSON from the run under test")
+    p_cmp.add_argument("baseline", help="committed baseline BENCH JSON")
+    p_cmp.add_argument("--tolerances", default="",
+                       help="tolerance JSON (default: built-in 8% rel)")
+    p_cmp.add_argument("--verbose", action="store_true",
+                       help="print passing metrics too")
+    p_cmp.set_defaults(fn=_cmd_bench_compare)
 
     p_info = sub.add_parser("info", help="print the model constants")
     p_info.set_defaults(fn=_cmd_info)

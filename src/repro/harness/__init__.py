@@ -1,10 +1,16 @@
 """Experiment harness: one entry per paper table/figure + ablations,
-plus the deterministic chaos campaign runner (`repro.harness.chaos`)."""
+the parallel cached experiment engine (`repro.harness.engine`), the
+machine-readable bench documents + regression gate
+(`repro.harness.bench`), plus the deterministic chaos campaign runner
+(`repro.harness.chaos`)."""
 
+from repro.harness.bench import compare, headline_metrics, load_document
+from repro.harness.cache import ResultCache, code_fingerprint
 from repro.harness.chaos import (ChaosConfig, Incident, Schedule,
                                  generate_schedule, load_reproducer,
                                  replay_reproducer, run_campaign, run_trial,
                                  shrink_schedule)
+from repro.harness.engine import EngineRun, run_engine
 from repro.harness.report import (ExperimentResult, ascii_chart, fmt_size,
                                   fmt_time, format_table, ratio)
 from repro.harness.runner import ALL_EXPERIMENTS, run_experiments
@@ -16,6 +22,8 @@ from repro.harness.workloads import (DNN_UPDATES, MIXED, QUERY,
 __all__ = ["ExperimentResult", "fmt_size", "fmt_time", "format_table",
            "ratio", "ascii_chart", "ALL_EXPERIMENTS", "run_experiments",
            "BcastSweep",
+           "EngineRun", "run_engine", "ResultCache", "code_fingerprint",
+           "headline_metrics", "compare", "load_document",
            "ChaosConfig", "Incident", "Schedule", "generate_schedule",
            "run_trial", "run_campaign", "shrink_schedule",
            "load_reproducer", "replay_reproducer",

@@ -6,6 +6,7 @@ from __future__ import annotations
 import csv
 import io
 import json
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -13,9 +14,36 @@ __all__ = ["ExperimentResult", "format_table", "fmt_size", "fmt_time",
            "ratio", "ascii_chart"]
 
 
+def _encode_cell(value: Any) -> Any:
+    """Map non-finite floats to portable JSON markers.
+
+    ``json.dumps`` would happily emit ``NaN``/``Infinity``, but those
+    are not valid JSON and break strict parsers (jq, browsers, the
+    bench-compare gate).  A tagged object survives any spec-compliant
+    round trip instead.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return {"__nonfinite__": repr(value)}  # 'nan', 'inf', '-inf'
+    return value
+
+
+def _decode_cell(value: Any) -> Any:
+    if isinstance(value, dict) and set(value) == {"__nonfinite__"}:
+        return float(value["__nonfinite__"])
+    return value
+
+
 @dataclass
 class ExperimentResult:
-    """One reproduced table/figure: rows + provenance."""
+    """One reproduced table/figure: rows + provenance.
+
+    ``wall_time_s`` / ``mode`` / ``cached`` are *run provenance* set by
+    the harness runner, not part of the result's identity: two runs of
+    the same experiment differ only in these fields, so they are
+    excluded from :meth:`to_json` (which must be byte-stable for the
+    cache and the serial-vs-parallel determinism guarantee) and
+    reported separately in the BENCH_*.json documents.
+    """
 
     exp_id: str
     title: str
@@ -23,6 +51,9 @@ class ExperimentResult:
     rows: List[Dict[str, Any]] = field(default_factory=list)
     paper_claim: str = ""
     notes: str = ""
+    mode: str = ""              # "quick" | "full" | "" (unset)
+    wall_time_s: float = 0.0    # volatile, excluded from to_json
+    cached: bool = False        # satisfied from the result cache
 
     def column(self, key: str) -> List[Any]:
         return [row.get(key) for row in self.rows]
@@ -40,16 +71,49 @@ class ExperimentResult:
             writer.writerow({h: row.get(h, "") for h in self.headers})
         return buf.getvalue()
 
-    def to_json(self) -> str:
-        """Full result (metadata + rows) as a JSON document."""
-        return json.dumps({
+    def to_dict(self) -> Dict[str, Any]:
+        """The canonical (deterministic, JSON-native) payload."""
+        return {
             "exp_id": self.exp_id,
             "title": self.title,
             "paper_claim": self.paper_claim,
             "notes": self.notes,
-            "headers": self.headers,
-            "rows": self.rows,
-        }, indent=2, default=str)
+            "mode": self.mode,
+            "headers": list(self.headers),
+            "rows": [{k: _encode_cell(v) for k, v in row.items()}
+                     for row in self.rows],
+        }
+
+    def to_json(self) -> str:
+        """Full result (metadata + rows) as a JSON document.
+
+        The encoding is canonical — fixed key order, sorted keys,
+        strict (RFC 8259) floats — so byte-equality of two documents
+        is equivalent to equality of the results.  Non-finite floats
+        are tagged (see :func:`_encode_cell`); everything else must be
+        JSON-native, guaranteeing ``from_json(to_json(r)) == r``.
+        """
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True,
+                          allow_nan=False, ensure_ascii=False)
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "ExperimentResult":
+        return cls(
+            exp_id=doc["exp_id"],
+            title=doc["title"],
+            headers=list(doc["headers"]),
+            rows=[{k: _decode_cell(v) for k, v in row.items()}
+                  for row in doc["rows"]],
+            paper_claim=doc.get("paper_claim", ""),
+            notes=doc.get("notes", ""),
+            mode=doc.get("mode", ""),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Inverse of :meth:`to_json` (wall time/cached are run-local
+        provenance and intentionally reset)."""
+        return cls.from_dict(json.loads(text))
 
 
 def fmt_size(nbytes: int) -> str:
@@ -148,4 +212,13 @@ def format_table(result: ExperimentResult) -> str:
         lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
     if result.notes:
         lines.append(f"note: {result.notes}")
+    if result.mode or result.wall_time_s or result.cached:
+        prov = []
+        if result.wall_time_s:
+            prov.append(f"wall {result.wall_time_s:.1f}s")
+        if result.mode:
+            prov.append(f"({result.mode})")
+        if result.cached:
+            prov.append("[cached]")
+        lines.append("run: " + " ".join(prov))
     return "\n".join(lines)

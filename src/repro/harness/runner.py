@@ -3,17 +3,26 @@
 ``python -m repro.harness.runner``            quick mode (minutes)
 ``python -m repro.harness.runner --full``     paper-scale parameters
 ``python -m repro.harness.runner --only fig8,fig12``
+``python -m repro.harness.runner --jobs 4``   parallel fan-out
+``python -m repro.harness.runner --jobs 4 --emit BENCH_quick.json``
+
+Experiments are pure functions of (id, quick); ``--jobs`` fans them
+out across a process pool and ``--cache-dir`` (default
+``.bench_cache``; ``--no-cache`` disables) memoizes results keyed by
+(id, config hash, code fingerprint) so unchanged experiments are
+skipped on re-runs.  ``--emit`` writes the consolidated machine-
+readable BENCH document (see ``repro.harness.bench``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.harness import ablations, experiments
-from repro.harness.report import ExperimentResult, format_table
+from repro.harness.report import ExperimentResult
 
 __all__ = ["ALL_EXPERIMENTS", "run_experiments", "main"]
 
@@ -37,21 +46,23 @@ ALL_EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {
 }
 
 
-def run_experiments(names: List[str], quick: bool = True,
-                    stream=None) -> List[ExperimentResult]:
-    """Run the named experiments; prints each table as it completes."""
-    out = stream or sys.stdout
-    results = []
-    for name in names:
-        fn = ALL_EXPERIMENTS[name]
-        t0 = time.time()
-        res = fn(quick)
-        res.notes = (res.notes + " | " if res.notes else "") + \
-            f"wall {time.time() - t0:.1f}s ({'quick' if quick else 'full'})"
-        results.append(res)
-        print(format_table(res), file=out)
-        print(file=out)
-    return results
+def run_experiments(names: List[str], quick: bool = True, stream=None,
+                    jobs: int = 1,
+                    cache_dir: Optional[str] = None) -> List[ExperimentResult]:
+    """Run the named experiments; prints each table as it completes.
+
+    ``jobs > 1`` fans independent experiments across a process pool;
+    ``cache_dir`` enables the content-addressed result cache.  Both
+    paths return byte-identical results (``ExperimentResult.to_json``)
+    in request order.
+    """
+    from repro.harness.cache import ResultCache
+    from repro.harness.engine import run_engine
+
+    cache = ResultCache(cache_dir) if cache_dir else None
+    run = run_engine(names, quick=quick, jobs=jobs, cache=cache,
+                     stream=stream)
+    return run.results
 
 
 def main(argv=None) -> int:
@@ -60,6 +71,14 @@ def main(argv=None) -> int:
                         help="paper-scale parameters (slow)")
     parser.add_argument("--only", default="",
                         help="comma-separated experiment ids")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="experiment worker processes (default 1)")
+    parser.add_argument("--emit", default="",
+                        help="write the consolidated BENCH JSON here")
+    parser.add_argument("--cache-dir", default="",
+                        help="result-cache directory (default .bench_cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache")
     args = parser.parse_args(argv)
     names = ([n.strip() for n in args.only.split(",") if n.strip()]
              if args.only else list(ALL_EXPERIMENTS))
@@ -67,7 +86,25 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {unknown}; "
                      f"have {sorted(ALL_EXPERIMENTS)}")
-    run_experiments(names, quick=not args.full)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    from repro.harness.cache import DEFAULT_CACHE_DIR, ResultCache
+    from repro.harness.engine import run_engine
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    run = run_engine(names, quick=not args.full, jobs=args.jobs,
+                     cache=cache, stream=sys.stdout)
+    print(f"{len(names)} experiment(s) in {run.total_wall_s:.1f}s "
+          f"({run.executed} executed, {run.cache_hits} cached, "
+          f"jobs={args.jobs})", file=sys.stderr)
+    if args.emit:
+        with open(args.emit, "w", encoding="utf-8") as fh:
+            json.dump(run.document(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"bench document written to {args.emit}", file=sys.stderr)
     return 0
 
 

@@ -56,6 +56,12 @@ class Simulator:
     1e-06
     """
 
+    #: Process-wide count of events executed by *all* simulator
+    #: instances.  The experiment engine snapshots it around each
+    #: experiment to report per-experiment event counts without
+    #: threading a handle into every cluster an experiment builds.
+    lifetime_events: int = 0
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: List[Tuple[float, int, Event]] = []
@@ -95,8 +101,9 @@ class Simulator:
             exactly ``until`` still run.  The clock is advanced to
             ``until`` when the queue drains early.
         max_events:
-            Safety valve for runaway protocols; raises ``RuntimeError``
-            when exceeded.
+            Safety valve for runaway protocols; at most ``max_events``
+            events execute, and a ``RuntimeError`` is raised as soon as
+            one more is about to run.
 
         Returns
         -------
@@ -105,23 +112,27 @@ class Simulator:
         """
         heap = self._heap
         executed = 0
-        while heap:
-            when, _, ev = heap[0]
-            if until is not None and when > until:
-                break
-            heapq.heappop(heap)
-            if ev.cancelled:
-                continue
-            self.now = when
-            if self.tracer is not None:
-                self.tracer(when)
-            ev.fn(*ev.args)
-            executed += 1
-            if max_events is not None and executed > max_events:
-                raise RuntimeError(f"exceeded max_events={max_events}")
-        if until is not None and self.now < until:
-            self.now = until
-        self._events_run += executed
+        try:
+            while heap:
+                when, _, ev = heap[0]
+                if until is not None and when > until:
+                    break
+                if ev.cancelled:
+                    heapq.heappop(heap)
+                    continue
+                if max_events is not None and executed >= max_events:
+                    raise RuntimeError(f"exceeded max_events={max_events}")
+                heapq.heappop(heap)
+                self.now = when
+                if self.tracer is not None:
+                    self.tracer(when)
+                ev.fn(*ev.args)
+                executed += 1
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._events_run += executed
+            Simulator.lifetime_events += executed
         return executed
 
     def run_until_idle(self, max_events: Optional[int] = None) -> int:

@@ -1,0 +1,87 @@
+"""Golden-value regression suite.
+
+Every registry experiment runs once in quick mode and its headline
+metrics are compared against the committed fixtures in
+``tests/harness/golden/`` using the per-metric tolerances of
+``benchmarks/tolerances.json`` — the same tolerance file the
+``cepheus-repro bench compare`` CI gate uses, so a PR that moves a
+headline number fails here first with a readable diff.
+
+To *intentionally* move a headline (model change, new calibration),
+regenerate the fixtures and commit the diff::
+
+    GOLDEN_REGEN=1 PYTHONPATH=src python -m pytest tests/harness/test_golden_results.py
+    PYTHONPATH=src python -m repro.cli bench emit --jobs 4 --no-cache \
+        --out benchmarks/baselines/BENCH_quick.json
+
+(see docs/TESTING.md, "Golden fixtures").
+
+The cheap experiments run in tier 1; the minutes-long ones carry the
+``slow`` marker and run in tier 2 / CI-main only.
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.harness import bench
+from repro.harness.engine import execute_one
+from repro.harness.runner import ALL_EXPERIMENTS
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+TOLERANCES_PATH = (pathlib.Path(__file__).parents[2]
+                   / "benchmarks" / "tolerances.json")
+REGEN = os.environ.get("GOLDEN_REGEN") == "1"
+
+#: Experiments cheap enough (< ~1 s) for tier 1; the rest are tier 2.
+CHEAP = {"fig7b", "fig8", "fig10", "abl-ack", "abl-cnp", "abl-retx",
+         "abl-deploy", "abl-mem"}
+
+PARAMS = [pytest.param(name, marks=() if name in CHEAP
+                       else (pytest.mark.slow,))
+          for name in ALL_EXPERIMENTS]
+
+
+def test_every_experiment_has_a_fixture():
+    missing = [n for n in ALL_EXPERIMENTS
+               if not (GOLDEN_DIR / f"{n}.json").exists()]
+    assert REGEN or not missing, \
+        (f"no golden fixture for {missing}; run GOLDEN_REGEN=1 pytest "
+         f"{pathlib.Path(__file__).name} to create them")
+
+
+@pytest.mark.parametrize("name", PARAMS)
+def test_golden(name):
+    entry = execute_one(name, True)
+    metrics = entry["metrics"]
+    path = GOLDEN_DIR / f"{name}.json"
+    if REGEN:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(
+            {"exp_id": name, "mode": "quick", "metrics": metrics},
+            indent=2, sort_keys=True) + "\n")
+        return
+    golden = json.loads(path.read_text())["metrics"]
+    tolerances = bench.load_tolerances(str(TOLERANCES_PATH))
+    problems = []
+    for metric in sorted(golden):
+        full_name = f"{name}.{metric}"
+        tol = bench.tolerance_for(full_name, tolerances)
+        expected = golden[metric]
+        got = metrics.get(metric)
+        if got is None:
+            problems.append(f"  {full_name}: missing (golden {expected:.6g})")
+            continue
+        denom = abs(expected) if abs(expected) > 1e-12 else 1.0
+        drift = abs(got - expected) / denom
+        if drift > tol:
+            problems.append(
+                f"  {full_name}: golden {expected:.6g} -> got {got:.6g} "
+                f"(drift {drift:.2%} > tol {tol:.2%})")
+    assert not problems, (
+        f"{name}: {len(problems)} headline metric(s) drifted beyond "
+        f"tolerance:\n" + "\n".join(problems)
+        + "\nIf intentional, regenerate fixtures: GOLDEN_REGEN=1 pytest "
+          "tests/harness/test_golden_results.py (docs/TESTING.md)")

@@ -119,6 +119,76 @@ class TestExports:
         assert ",\r\n" in res.to_csv() or ",\n" in res.to_csv()
 
 
+class TestJsonRoundTrip:
+    """to_json/from_json must be lossless and byte-deterministic."""
+
+    def _result(self):
+        from repro.harness.report import ExperimentResult
+        res = ExperimentResult(
+            "figX", "demo — en-dash", ["size", "jct"],
+            paper_claim="±5 %", notes="unicode ✓ ümlaut — quick",
+            mode="quick")
+        res.rows.append({"size": "64B", "jct": 1.5})
+        res.rows.append({"size": "1MB", "jct": 89.0})
+        return res
+
+    def test_roundtrip_equality(self):
+        from repro.harness.report import ExperimentResult
+        res = self._result()
+        back = ExperimentResult.from_json(res.to_json())
+        assert back == res
+
+    def test_roundtrip_nonfinite_and_unicode(self):
+        import math
+        from repro.harness.report import ExperimentResult
+        res = self._result()
+        res.rows.append({"size": "nan", "jct": float("nan")})
+        res.rows.append({"size": "inf", "jct": float("inf")})
+        res.rows.append({"size": "-inf", "jct": float("-inf")})
+        back = ExperimentResult.from_json(res.to_json())
+        assert math.isnan(back.rows[2]["jct"])
+        assert back.rows[3]["jct"] == float("inf")
+        assert back.rows[4]["jct"] == float("-inf")
+        assert back.notes == "unicode ✓ ümlaut — quick"
+
+    def test_json_is_strict(self):
+        """Non-finite floats must not leak as bare NaN/Infinity tokens
+        (invalid JSON that breaks jq and the bench gate)."""
+        res = self._result()
+        res.rows.append({"size": "nan", "jct": float("nan")})
+        text = res.to_json()
+        assert "NaN" not in text and "Infinity" not in text
+        assert '"__nonfinite__": "nan"' in text
+
+    def test_volatile_fields_excluded(self):
+        """Wall time and cache provenance must not change the payload —
+        the determinism guarantee and cache identity depend on it."""
+        a, b = self._result(), self._result()
+        b.wall_time_s = 123.4
+        b.cached = True
+        assert a.to_json() == b.to_json()
+
+    def test_byte_determinism(self):
+        assert self._result().to_json() == self._result().to_json()
+
+    def test_genuine_string_nan_survives(self):
+        """A *string* cell 'nan' must not be confused with float NaN."""
+        from repro.harness.report import ExperimentResult
+        res = ExperimentResult("e", "t", ["a"])
+        res.rows.append({"a": "nan"})
+        back = ExperimentResult.from_json(res.to_json())
+        assert back.rows[0]["a"] == "nan"
+        assert isinstance(back.rows[0]["a"], str)
+
+    def test_provenance_line_in_table(self):
+        from repro.harness.report import format_table
+        res = self._result()
+        res.wall_time_s = 2.0
+        res.cached = True
+        text = format_table(res)
+        assert "run: wall 2.0s (quick) [cached]" in text
+
+
 class TestAsciiChart:
     def test_empty(self):
         from repro.harness.report import ascii_chart

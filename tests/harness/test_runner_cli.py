@@ -1,6 +1,7 @@
 """The CLI harness entry point."""
 
 import io
+import json
 
 import pytest
 
@@ -15,23 +16,62 @@ class TestRunExperiments:
         text = out.getvalue()
         assert len(results) == 2
         assert "fig7b" in text and "abl-mem" in text
-        assert "wall" in results[0].notes
+        assert results[0].wall_time_s > 0
+        assert "run:" in text and "wall" in text
 
     def test_quick_tag_recorded(self):
         out = io.StringIO()
         (res,) = run_experiments(["fig7b"], quick=True, stream=out)
-        assert "(quick)" in res.notes
+        assert res.mode == "quick"
+        assert "(quick)" in out.getvalue()
+
+    def test_parallel_jobs(self):
+        out = io.StringIO()
+        results = run_experiments(["fig7b", "abl-mem"], quick=True,
+                                  stream=out, jobs=2)
+        assert [r.exp_id for r in results] == ["fig7b", "abl-mem"]
+
+    def test_cache_dir_roundtrip(self, tmp_path):
+        cache = tmp_path / "cache"
+        first = run_experiments(["fig7b"], quick=True, stream=io.StringIO(),
+                                cache_dir=str(cache))
+        warm = run_experiments(["fig7b"], quick=True, stream=io.StringIO(),
+                               cache_dir=str(cache))
+        assert warm[0].cached and not first[0].cached
+        assert warm[0].to_json() == first[0].to_json()
 
 
 class TestMainCli:
     def test_only_selection(self, capsys):
-        assert main(["--only", "fig7b"]) == 0
+        assert main(["--only", "fig7b", "--no-cache"]) == 0
         captured = capsys.readouterr()
         assert "MFT memory" in captured.out
 
     def test_unknown_experiment_errors(self, capsys):
         with pytest.raises(SystemExit):
             main(["--only", "fig99"])
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--only", "fig7b", "--jobs", "0"])
+
+    def test_emit_writes_bench_document(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_quick.json"
+        assert main(["--only", "fig7b", "--no-cache",
+                     "--emit", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "cepheus-bench/v1"
+        assert doc["mode"] == "quick"
+        entry = doc["experiments"]["fig7b"]
+        assert entry["events"] >= 0 and entry["wall_s"] >= 0
+        assert "mean_total_MB" in entry["metrics"]
+
+    def test_cache_dir_option(self, tmp_path, capsys):
+        cache = tmp_path / "c"
+        assert main(["--only", "fig7b", "--cache-dir", str(cache)]) == 0
+        assert main(["--only", "fig7b", "--cache-dir", str(cache)]) == 0
+        err = capsys.readouterr().err
+        assert "1 cached" in err
 
     def test_registry_complete(self):
         assert len(ALL_EXPERIMENTS) >= 15

@@ -30,6 +30,14 @@ class TestBcastSweep:
         with pytest.raises(ConfigurationError):
             BcastSweep(sizes=[], group_sizes=[4], algorithms=["cepheus"])
 
+    def test_parallel_matches_serial(self):
+        sweep = BcastSweep(sizes=[4096, 1 << 16], group_sizes=[3, 4],
+                           algorithms=["cepheus", "chain"])
+        serial = sweep.run()
+        parallel = sweep.run(jobs=2)
+        assert parallel.rows == serial.rows
+        assert parallel.headers == serial.headers
+
     def test_custom_cluster_factory(self):
         from repro.apps import Cluster
 

@@ -114,6 +114,31 @@ class TestRunControl:
         with pytest.raises(RuntimeError):
             sim.run(max_events=100)
 
+    def test_max_events_exact_count(self, sim):
+        """Regression: exactly max_events events execute — the guard
+        used to let one extra event through before raising."""
+        fired = []
+        for i in range(150):
+            sim.schedule(i * 1e-6, fired.append, i)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=100)
+        assert len(fired) == 100
+        assert sim.events_run == 100
+        assert sim.pending == 50  # the rest stay queued, not lost
+
+    def test_max_events_not_raised_when_queue_drains(self, sim):
+        for i in range(100):
+            sim.schedule(i * 1e-6, lambda: None)
+        assert sim.run(max_events=100) == 100
+
+    def test_max_events_ignores_cancelled(self, sim):
+        fired = []
+        for i in range(5):
+            sim.schedule(1e-6, fired.append, i).cancel()
+        sim.schedule(2e-6, fired.append, "real")
+        assert sim.run(max_events=1) == 1
+        assert fired == ["real"]
+
     def test_resume_after_until(self, sim):
         fired = []
         sim.schedule(1e-6, fired.append, 1)

@@ -17,6 +17,19 @@ class TestParser:
                                      else [cmd, "--sizes", "64"])
             assert callable(args.fn)
 
+    def test_bench_subcommands_registered(self):
+        parser = build_parser()
+        emit = parser.parse_args(["bench", "emit", "--jobs", "4"])
+        assert callable(emit.fn) and emit.jobs == 4
+        cmp_args = parser.parse_args(["bench", "compare", "a.json",
+                                      "b.json"])
+        assert callable(cmp_args.fn)
+        assert cmp_args.current == "a.json" and cmp_args.baseline == "b.json"
+
+    def test_experiments_jobs_flag(self, capsys):
+        assert main(["experiments", "--only", "fig7b", "--jobs", "2"]) == 0
+        assert "MFT memory" in capsys.readouterr().out
+
 
 class TestCommands:
     def test_info_prints_constants(self, capsys):
