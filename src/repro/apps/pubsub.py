@@ -67,6 +67,43 @@ class Topic:
         self._engine.prepare()
         self.published = 0
 
+    def subscribe(self, ip: int) -> None:
+        """Add a subscriber to a live topic.
+
+        Cepheus topics patch the MDT with an incremental JOIN delta (the
+        long-lived-topic argument from the paper: churn costs one branch
+        install, not a re-registration).  Unicast topics rebuild their
+        per-subscriber connection fan-out.
+        """
+        if ip == self.broker.host_ip:
+            raise ConfigurationError("the broker cannot subscribe to itself")
+        if ip in self.subscribers:
+            raise ConfigurationError(
+                f"{ip} already subscribes to topic {self.name!r}")
+        if self.transport == "cepheus":
+            self._engine.join(ip)
+        else:
+            self._rebuild_unicast(self.subscribers + [ip])
+        self.subscribers.append(ip)
+
+    def unsubscribe(self, ip: int) -> None:
+        """Drop a subscriber from a live topic (LEAVE delta for Cepheus)."""
+        if ip not in self.subscribers:
+            raise ConfigurationError(
+                f"{ip} does not subscribe to topic {self.name!r}")
+        if self.transport == "cepheus":
+            self._engine.leave(ip)
+        else:
+            self._rebuild_unicast([s for s in self.subscribers if s != ip])
+        self.subscribers.remove(ip)
+
+    def _rebuild_unicast(self, subscribers: List[int]) -> None:
+        engine = MultiUnicastBcast(
+            self.broker.cluster, [self.broker.host_ip] + subscribers,
+            self.broker.host_ip)
+        engine.prepare()
+        self._engine = engine
+
     def publish(self, size: int) -> PublishResult:
         """One message to every subscriber; returns delivery metrics."""
         tx0 = self._broker_tx_bytes()

@@ -117,6 +117,8 @@ class InvariantMonitor:
         self._qp_names: Dict[int, str] = {}
         # per-MFT last aggregated ACK observed on the wire
         self._agg_seen: Dict[int, int] = {}
+        # per-MFT highest membership epoch observed (must not regress)
+        self._mft_epoch: Dict[int, int] = {}
         self._fabrics: List[object] = []
         self._installed_clusters: List[object] = []
 
@@ -243,6 +245,17 @@ class InvariantMonitor:
                        f"{pkt.psn - 1} never were (skipped PSN)")
         if pkt.psn > hi:
             self._tx_hi[key] = pkt.psn
+
+    def on_membership_epoch(self, qp, epoch: int) -> None:
+        """A membership change re-based this QP's stream position
+        (JOIN syncs rqPSN to the source's sqPSN; LEAVE retires the QP).
+        Reset the per-QP PSN trackers so the legitimate discontinuity is
+        not flagged — completed message ids are kept: exactly-once
+        delivery spans epochs."""
+        self.events_checked += 1
+        key = id(qp)
+        self._tx_hi.pop(key, None)
+        self._rx_last.pop(key, None)
 
     def on_qp_deliver(self, qp, pkt: Packet) -> None:
         self._now = qp.sim.now
@@ -392,6 +405,26 @@ class InvariantMonitor:
                     self._flag("mft-agg-above-min", where,
                                f"AggAckPSN {mft.agg_ack_psn} above min "
                                f"downstream AckPSN {m}")
+                prev_epoch = self._mft_epoch.get(id(mft))
+                if prev_epoch is not None and mft.epoch < prev_epoch:
+                    self._flag("mft-epoch-regression", where,
+                               f"membership epoch went backwards: "
+                               f"{prev_epoch} -> {mft.epoch}")
+                self._mft_epoch[id(mft)] = max(prev_epoch or 0, mft.epoch)
+                for port, members in mft.port_members.items():
+                    if members and not mft.has_port(port):
+                        self._flag("mft-member-orphan", where,
+                                   f"port {port} serves members "
+                                   f"{sorted(members)} but has no path "
+                                   f"entry")
+                if mft.port_members:
+                    for e in rows:
+                        if (e.is_host and e.dst_ip
+                                and e.dst_ip not in
+                                mft.port_members.get(e.port, ())):
+                            self._flag("mft-member-orphan", where,
+                                       f"host entry for {e.dst_ip} on port "
+                                       f"{e.port} has no member-set record")
         if injector is not None:
             self._check_injector(injector)
 

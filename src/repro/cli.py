@@ -9,6 +9,8 @@ Installed as the ``cepheus-repro`` console script::
                         --algorithms cepheus,chain
     cepheus-repro chaos run --seed 7 --trials 5  # invariant-checked chaos
     cepheus-repro chaos replay repro.json        # re-run a reproducer
+    cepheus-repro churn run --seed 11 --trials 3 # membership-churn campaign
+    cepheus-repro churn replay repro.json        # re-run a churn reproducer
     cepheus-repro bench emit --jobs 4            # parallel run -> BENCH_quick.json
     cepheus-repro bench compare BENCH_quick.json benchmarks/baselines/BENCH_quick.json
     cepheus-repro info                           # model constants
@@ -134,6 +136,69 @@ def _cmd_chaos_replay(args) -> int:
         print("chaos: reproducer still failing", file=sys.stderr)
         return 3
     print("chaos: reproducer no longer fails (fixed?)", file=sys.stderr)
+    return 0
+
+
+def _churn_config(args) -> "object":
+    from repro.harness.churn import ChurnConfig
+
+    if args.mutate and args.mutate != "no-detector":
+        raise SystemExit(f"unknown mutation {args.mutate!r} "
+                         f"(available: no-detector)")
+    return ChurnConfig(
+        topo=args.topo, hosts=args.hosts, k=args.k,
+        initial_members=args.members, messages=args.messages,
+        msg_packets=args.msg_packets, joins=args.joins,
+        leaves=args.leaves, crashes=args.crashes, horizon=args.horizon,
+        loss_rate=args.loss_rate, mutate=args.mutate or None,
+    )
+
+
+def _cmd_churn_run(args) -> int:
+    import json
+
+    from repro.harness.churn import run_churn_campaign
+
+    cfg = _churn_config(args)
+    campaign = run_churn_campaign(cfg, seed=args.seed, trials=args.trials,
+                                  shrink=not args.no_shrink)
+    doc = json.dumps(campaign, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(doc + "\n")
+    else:
+        print(doc)
+    n_fail = len(campaign["failing_trials"])
+    print(f"churn: {args.trials} trial(s), {n_fail} failing "
+          f"(seed={args.seed})", file=sys.stderr)
+    if n_fail and args.repro_dir:
+        import os
+
+        os.makedirs(args.repro_dir, exist_ok=True)
+        for rep in campaign["reproducers"]:
+            path = os.path.join(args.repro_dir,
+                                f"churn-seed{args.seed}-t{rep['trial']}.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(rep, indent=2, sort_keys=True) + "\n")
+            print(f"churn: reproducer written to {path}", file=sys.stderr)
+    return 3 if n_fail else 0
+
+
+def _cmd_churn_replay(args) -> int:
+    import json
+
+    from repro.harness.churn import replay_churn_reproducer
+
+    try:
+        record = replay_churn_reproducer(args.file)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"churn: cannot replay {args.file}: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(record, indent=2, sort_keys=True))
+    if record["failing"]:
+        print("churn: reproducer still failing", file=sys.stderr)
+        return 3
+    print("churn: reproducer no longer fails (fixed?)", file=sys.stderr)
     return 0
 
 
@@ -286,6 +351,46 @@ def build_parser() -> argparse.ArgumentParser:
         "replay", help="re-execute a reproducer JSON file")
     p_replay.add_argument("file")
     p_replay.set_defaults(fn=_cmd_chaos_replay)
+
+    p_churn = sub.add_parser(
+        "churn", help="deterministic membership-churn campaigns "
+                      "(incremental MRP joins/leaves, failure pruning)")
+    churn_sub = p_churn.add_subparsers(dest="churn_command", required=True)
+
+    p_crun = churn_sub.add_parser(
+        "run", help="run N seeded churn trials, shrink any failure")
+    p_crun.add_argument("--seed", type=int, default=1)
+    p_crun.add_argument("--trials", type=int, default=5)
+    p_crun.add_argument("--topo", default="star",
+                        choices=("star", "fat_tree"))
+    p_crun.add_argument("--hosts", type=int, default=8)
+    p_crun.add_argument("--k", type=int, default=4,
+                        help="fat-tree arity (fat_tree topo only)")
+    p_crun.add_argument("--members", type=int, default=5,
+                        help="initial group size")
+    p_crun.add_argument("--messages", type=int, default=4)
+    p_crun.add_argument("--msg-packets", type=int, default=8)
+    p_crun.add_argument("--joins", type=int, default=2)
+    p_crun.add_argument("--leaves", type=int, default=1)
+    p_crun.add_argument("--crashes", type=int, default=1)
+    p_crun.add_argument("--horizon", type=float, default=0.04,
+                        help="virtual seconds of traffic per trial")
+    p_crun.add_argument("--loss-rate", type=float, default=0.0)
+    p_crun.add_argument("--mutate", default="",
+                        help="arm a deliberate liveness mutation "
+                             "(no-detector) to self-test the campaign")
+    p_crun.add_argument("--no-shrink", action="store_true",
+                        help="skip reproducer minimization")
+    p_crun.add_argument("--out", default="",
+                        help="write campaign JSON here instead of stdout")
+    p_crun.add_argument("--repro-dir", default="",
+                        help="directory for per-failure reproducer files")
+    p_crun.set_defaults(fn=_cmd_churn_run)
+
+    p_creplay = churn_sub.add_parser(
+        "replay", help="re-execute a churn reproducer JSON file")
+    p_creplay.add_argument("file")
+    p_creplay.set_defaults(fn=_cmd_churn_replay)
 
     p_bench = sub.add_parser(
         "bench", help="machine-readable benchmark runs and regression diffs")

@@ -105,6 +105,35 @@ class CepheusBcast(BroadcastAlgorithm):
         self.coordinator.switch_to(ip)
         self.root = ip
 
+    # -- dynamic membership (incremental MRP, §III-C) ---------------------------
+
+    def join(self, ip: int) -> None:
+        """Admit ``ip`` at runtime via an incremental MRP JOIN delta.
+
+        Only the joiner's branch of the MDT is patched — no full
+        re-registration.  Unavailable after a safeguard fallback (the
+        AMcast algorithms have static membership).
+        """
+        self.prepare()
+        if self.fell_back:
+            raise ConfigurationError(
+                "cannot join after safeguard fallback (static AMcast tree)")
+        qp = self.cluster.ctx(ip).create_qp()
+        self.cluster.fabric.membership(self.group).join_sync(ip, qp)
+        self.qps[ip] = qp
+        self.ranks.append(ip)
+
+    def leave(self, ip: int) -> None:
+        """Retire ``ip`` at runtime via an incremental MRP LEAVE delta."""
+        self.prepare()
+        if self.fell_back:
+            raise ConfigurationError(
+                "cannot leave after safeguard fallback (static AMcast tree)")
+        self.cluster.fabric.membership(self.group).leave_sync(ip)
+        self.qps.pop(ip, None)
+        if ip in self.ranks:
+            self.ranks.remove(ip)
+
     # -- one broadcast -----------------------------------------------------------
 
     def _launch(self, size: int, result: BroadcastResult) -> None:

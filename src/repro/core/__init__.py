@@ -11,6 +11,7 @@ from repro.core.fabric import CepheusFabric
 from repro.core.fallback import SafeguardMonitor
 from repro.core.feedback import FeedbackConfig, FeedbackEngine
 from repro.core.group import McstIdAllocator, MemberRecord, MulticastGroup
+from repro.core.membership import MembershipDelta, MembershipManager
 from repro.core.mft import Mft, MftTable, PathEntry
 from repro.core.mrp import (HostControlAgent, MrpController, MrpError,
                             MrpPayload, chunk_records)
@@ -22,6 +23,7 @@ __all__ = [
     "SafeguardMonitor",
     "FeedbackConfig", "FeedbackEngine",
     "McstIdAllocator", "MemberRecord", "MulticastGroup",
+    "MembershipDelta", "MembershipManager",
     "Mft", "MftTable", "PathEntry",
     "HostControlAgent", "MrpController", "MrpError", "MrpPayload",
     "chunk_records",

@@ -93,6 +93,12 @@ class CepheusAccelerator:
         self.retransmits_filtered = 0
         self.unregistered_drops = 0
         self.source_switches_seen = 0
+        # MRP record economy: how many member records this switch
+        # installed/removed across all registrations and deltas — the
+        # measure that shows a JOIN patch touches strictly fewer records
+        # than a full re-registration (§III-C incremental MRP).
+        self.mrp_records_installed = 0
+        self.mrp_records_removed = 0
         switch.accelerator = self
 
     # ------------------------------------------------------------------
@@ -146,11 +152,15 @@ class CepheusAccelerator:
 
     def _process_mrp(self, pkt: Packet, in_port: int) -> None:
         payload: MrpPayload = pkt.mrp
+        if payload.op in ("leave", "prune"):
+            self._process_mrp_remove(payload, pkt, in_port)
+            return
         try:
             mft = self.table.get_or_create(payload.mcst_id)
         except RegistrationError as exc:
             self._notify_registration_error(payload, str(exc))
             return
+        mft.epoch = max(mft.epoch, payload.epoch)
         if mft.ack_out_port is None:
             # Default upstream is where the registration came from (the
             # leader's side); data-plane traffic re-points it if the
@@ -164,13 +174,22 @@ class CepheusAccelerator:
         downstream: Dict[int, List] = {}
         for node in payload.nodes:
             port = self._select_port(mft, node.ip)
+            # Fresh entries start at the group's current aggregate: a
+            # mid-flight joiner is not retroactively responsible for the
+            # PSNs emitted before it existed (its stream position is
+            # synced past them, §III-E style), so counting it in below
+            # AggAckPSN would stall the aggregate forever.
             if self.switch.is_host_port(port):
                 mft.add_entry(PathEntry(
                     port=port, is_host=True, dst_ip=node.ip, dst_qp=node.qpn,
                     vaddr=node.vaddr, rkey=node.rkey,
+                    ack_psn=mft.agg_ack_psn,
                 ))
             else:
-                mft.add_entry(PathEntry(port=port, is_host=False))
+                mft.add_entry(PathEntry(port=port, is_host=False,
+                                        ack_psn=mft.agg_ack_psn))
+            mft.port_members.setdefault(port, set()).add(node.ip)
+            self.mrp_records_installed += 1
             downstream.setdefault(port, []).append(node)
 
         for port, nodes in downstream.items():
@@ -181,6 +200,7 @@ class CepheusAccelerator:
             sub = MrpPayload(
                 mcst_id=payload.mcst_id, seq=payload.seq, total=payload.total,
                 controller_ip=payload.controller_ip, nodes=nodes,
+                op=payload.op, epoch=payload.epoch,
             )
             out = Packet(
                 PacketType.MRP, pkt.src_ip, payload.mcst_id,
@@ -201,6 +221,7 @@ class CepheusAccelerator:
                 return p
         best = min(candidates, key=lambda p: (self.port_group_load.get(p, 0), p))
         self.port_group_load[best] = self.port_group_load.get(best, 0) + 1
+        mft.loaded_ports.add(best)
         return best
 
     def _direct_host_port(self, ip: int) -> Optional[int]:
@@ -208,6 +229,76 @@ class CepheusAccelerator:
         if ports and len(ports) == 1 and self.switch.is_host_port(ports[0]):
             return ports[0]
         return None
+
+    def _process_mrp_remove(self, payload: MrpPayload, pkt: Packet,
+                            in_port: int) -> None:
+        """Incremental LEAVE/PRUNE: patch out the affected entries only.
+
+        For each named member, find the MDT port serving it; drain it
+        from the port's member set and, once the set is empty, remove
+        the Path Table entry and re-evaluate the pending aggregate (the
+        departed path may have gated min-AckPSN/MePSN — in-flight
+        transfers must unstick, §III-D).  A non-host serving port means
+        the member sits deeper in the tree: forward a single-node
+        sub-delta down that port.  At the member's leaf the switch
+        confirms to the controller on the member's behalf, so the
+        transaction completes even when the member host is dead.
+        """
+        mft = self.table.get(payload.mcst_id)
+        if mft is None:
+            return  # not on this group's MDT: nothing to patch
+        mft.epoch = max(mft.epoch, payload.epoch)
+        for node in payload.nodes:
+            port = next((p for p, members in mft.port_members.items()
+                         if node.ip in members), None)
+            if port is None:
+                continue  # already drained here (duplicate delta)
+            at_leaf = self.switch.is_host_port(port)
+            if not at_leaf:
+                sub = MrpPayload(
+                    mcst_id=payload.mcst_id, seq=payload.seq,
+                    total=payload.total,
+                    controller_ip=payload.controller_ip, nodes=[node],
+                    op=payload.op, epoch=payload.epoch,
+                )
+                out = Packet(
+                    PacketType.MRP, pkt.src_ip, payload.mcst_id,
+                    payload=sub.wire_bytes(), mrp=sub,
+                    created_at=self.switch.sim.now,
+                )
+                self.switch.emit(out, port, in_port)
+            members = mft.port_members.get(port)
+            if members is not None:
+                members.discard(node.ip)
+                if not members:
+                    self._drop_path(mft, port)
+            self.mrp_records_removed += 1
+            if at_leaf:
+                confirm = Packet(
+                    PacketType.MRP_CONFIRM, node.ip, payload.controller_ip,
+                    payload=16, meta=(payload.mcst_id, node.ip),
+                    created_at=self.switch.sim.now,
+                )
+                self.switch.emit(confirm, self.switch.route_lookup(confirm),
+                                 in_port)
+
+    def _drop_path(self, mft: Mft, port: int) -> None:
+        """Remove one MDT path and unstick any pending aggregate."""
+        if port == mft.ack_out_port:
+            # The feedback egress toward the current source is never a
+            # removable downstream path (the source is always a member,
+            # so a drained member set here means stale routing state —
+            # keep the entry rather than sever the tree).
+            return
+        if mft.remove_entry(port) is None:
+            return
+        if port in mft.loaded_ports:
+            n = self.port_group_load.get(port, 0)
+            if n > 0:
+                self.port_group_load[port] = n - 1
+            mft.loaded_ports.discard(port)
+        emits = self.feedback.reevaluate(mft)
+        self._emit_feedback(mft, emits, -1)
 
     def _notify_registration_error(self, payload: MrpPayload, reason: str) -> None:
         err = MrpError(mcst_id=payload.mcst_id, reason=reason,
@@ -349,6 +440,11 @@ class CepheusAccelerator:
             emits = self.feedback.on_nack(mft, in_port, pkt.psn)
         else:
             emits = self.feedback.on_cnp(mft, in_port, self.switch.sim.now)
+        self._emit_feedback(mft, emits, in_port)
+
+    def _emit_feedback(self, mft: Mft, emits, in_port: int) -> None:
+        """Send aggregated feedback toward the current source (also the
+        egress path of membership-driven re-evaluations)."""
         out_port = mft.ack_out_port
         if out_port is None:
             return

@@ -17,6 +17,7 @@ from typing import Callable, Dict, Iterable, Optional
 
 from repro.core.accelerator import AcceleratorConfig, CepheusAccelerator
 from repro.core.group import McstIdAllocator, MemberRecord, MulticastGroup
+from repro.core.membership import MembershipManager
 from repro.core.mrp import HostControlAgent, MrpController
 from repro.errors import GroupError, RegistrationError
 from repro.net.switch import Switch
@@ -47,6 +48,7 @@ class CepheusFabric:
         }
         self.alloc = McstIdAllocator()
         self.groups: Dict[int, MulticastGroup] = {}
+        self._memberships: Dict[int, MembershipManager] = {}
 
     # -- group lifecycle ------------------------------------------------------
 
@@ -130,12 +132,33 @@ class CepheusFabric:
             raise RegistrationError(state["failed"])
         return set(ctl.unconfirmed)
 
+    def membership(self, group: MulticastGroup) -> MembershipManager:
+        """The (cached) runtime membership controller for ``group``."""
+        mgr = self._memberships.get(group.mcst_id)
+        if mgr is None or mgr.group is not group:
+            mgr = MembershipManager(self, group)
+            self._memberships[group.mcst_id] = mgr
+        return mgr
+
     def unregister(self, group: MulticastGroup) -> None:
         """Remove the group's MFT from every accelerator (control-plane
-        teardown; frees switch memory for abandoned probe groups)."""
+        teardown; frees switch memory for abandoned probe groups) and
+        recycle its McstID."""
         for accel in self.accelerators.values():
+            mft = accel.table.get(group.mcst_id)
+            if mft is None:
+                continue
+            for port in mft.loaded_ports:
+                n = accel.port_group_load.get(port, 0)
+                if n > 0:
+                    accel.port_group_load[port] = n - 1
             accel.table.remove(group.mcst_id)
-        self.groups.pop(group.mcst_id, None)
+        mgr = self._memberships.pop(group.mcst_id, None)
+        if mgr is not None:
+            mgr.stop_failure_detector()
+            self.agents[group.leader_ip].detach_controller(group.mcst_id)
+        if self.groups.pop(group.mcst_id, None) is not None:
+            self.alloc.release(group.mcst_id)
 
     def set_group_mode(self, mcst_id: int, mode: str) -> None:
         """Flip a registered group between broadcast and the experimental

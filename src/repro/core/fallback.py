@@ -39,6 +39,7 @@ class SafeguardMonitor:
         threshold: float = constants.FALLBACK_GOODPUT_THRESHOLD,
         window: float = 500e-6,
         grace_windows: int = 2,
+        idle_grace_windows: int = 8,
         on_fallback: Optional[Callable[[str], None]] = None,
     ) -> None:
         self.sim = sim
@@ -47,11 +48,13 @@ class SafeguardMonitor:
         self.threshold = threshold
         self.window = window
         self.grace_windows = grace_windows
+        self.idle_grace_windows = idle_grace_windows
         self.on_fallback = on_fallback
         self.triggered = False
         self.trigger_reason: Optional[str] = None
         self._last_una = 0
         self._windows_elapsed = 0
+        self._idle_windows = 0
         self._tick_ev: Optional[Event] = None
 
     # -- lifecycle ------------------------------------------------------------
@@ -59,6 +62,7 @@ class SafeguardMonitor:
     def start(self) -> None:
         self._last_una = self.qp.snd_una
         self._windows_elapsed = 0
+        self._idle_windows = 0
         self._arm()
 
     def stop(self) -> None:
@@ -73,8 +77,22 @@ class SafeguardMonitor:
 
     def _tick(self) -> None:
         self._tick_ev = None
-        if self.triggered or self.qp.send_idle:
-            return  # transfer finished (or already fell back): stand down
+        if self.triggered:
+            return
+        if self.qp.send_idle:
+            # An idle window is usually the transfer completing — but it
+            # can also be a gap between back-to-back sends (churn, pubsub
+            # fan-out).  Standing down permanently on the first idle
+            # window would leave the next send unguarded, so re-arm for a
+            # bounded number of idle windows before concluding the
+            # transfer really is over.
+            self._idle_windows += 1
+            self._windows_elapsed = 0
+            self._last_una = self.qp.snd_una
+            if self._idle_windows < self.idle_grace_windows:
+                self._arm()
+            return
+        self._idle_windows = 0
         self._windows_elapsed += 1
         advanced_psns = self.qp.snd_una - self._last_una
         self._last_una = self.qp.snd_una

@@ -109,6 +109,27 @@ class FeedbackEngine:
             # (or before the first aggregation) can change the aggregate.
             if mft.tri_port is not None and in_port != mft.tri_port:
                 return []
+        return self._evaluate(mft)
+
+    def reevaluate(self, mft: Mft) -> List[Emit]:
+        """Re-run the aggregation rules after the MFT itself changed.
+
+        A LEAVE/PRUNE delta that removes a path can raise the min-AckPSN
+        (or satisfy the MePSN release rule) without any feedback packet
+        arriving — the departed path may have *been* the minimum.  This
+        is the unstick hook the membership subsystem calls after every
+        entry removal; it bypasses the trigger-port gate because no
+        in-port is involved.
+        """
+        emits = self._evaluate(mft)
+        if self.observer is not None:
+            # in_port -1 / value -1: a membership-driven re-evaluation,
+            # not an arriving feedback packet.
+            self.observer.on_feedback(self, mft, PacketType.ACK,
+                                      -1, -1, emits)
+        return emits
+
+    def _evaluate(self, mft: Mft) -> List[Emit]:
         m = mft.min_ack_psn()
         if m is None:
             return []

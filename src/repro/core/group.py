@@ -11,9 +11,9 @@ accelerator's ingress-port detection).
 
 from __future__ import annotations
 
-import itertools
+import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro import constants
 from repro.errors import GroupError
@@ -34,13 +34,48 @@ class MemberRecord:
 
 
 class McstIdAllocator:
-    """Hands out McstIDs from the reserved multicast range."""
+    """Hands out McstIDs from the reserved multicast range.
 
-    def __init__(self, base: int = constants.MCSTID_BASE) -> None:
-        self._counter = itertools.count(base)
+    The range is finite (the top of the 32-bit IP space above
+    ``MCSTID_BASE``): exhausting it raises :class:`GroupError` instead
+    of silently handing out IDs that would collide with unicast
+    addresses.  IDs of destroyed groups are recycled (lowest first, so
+    allocation stays deterministic) — churn workloads create and tear
+    down groups far faster than the range replenishes itself.
+    """
+
+    def __init__(self, base: int = constants.MCSTID_BASE,
+                 capacity: Optional[int] = None) -> None:
+        self.base = base
+        self.capacity = ((1 << 32) - base) if capacity is None else capacity
+        self._next = base
+        self._free: List[int] = []      # heap of recycled IDs
+        self._live: Set[int] = set()
 
     def allocate(self) -> int:
-        return next(self._counter)
+        if self._free:
+            gid = heapq.heappop(self._free)
+        elif self._next < self.base + self.capacity:
+            gid = self._next
+            self._next += 1
+        else:
+            raise GroupError(
+                f"McstID range exhausted ({self.capacity} ids from "
+                f"{self.base:#x}) and none released")
+        self._live.add(gid)
+        return gid
+
+    def release(self, gid: int) -> None:
+        """Return a destroyed group's ID to the pool."""
+        if gid not in self._live:
+            raise GroupError(f"McstID {gid:#x} is not allocated "
+                             f"(double release?)")
+        self._live.remove(gid)
+        heapq.heappush(self._free, gid)
+
+    @property
+    def live_count(self) -> int:
+        return len(self._live)
 
 
 class MulticastGroup:
@@ -68,6 +103,9 @@ class MulticastGroup:
         self.mr_info = dict(mr_info or {})
         self.current_source: int = self.leader_ip
         self.registered = False
+        # Membership epoch: bumped on every add/remove; MRP deltas carry
+        # it so switches can order/detect stale membership updates.
+        self.epoch = 0
 
     # -- connection establishment (§III-A 'Hosts Establishing Connections') ----
 
@@ -84,6 +122,49 @@ class MulticastGroup:
             vaddr, rkey = self.mr_info.get(ip, (0, 0))
             records.append(MemberRecord(ip=ip, qpn=qp.qpn, vaddr=vaddr, rkey=rkey))
         return records
+
+    # -- dynamic membership (incremental MRP, §III-C) ---------------------------
+
+    def add_member(self, ip: int, qp: RoceQP,
+                   mr: Optional["tuple[int, int]"] = None) -> None:
+        """Admit a new member and bump the membership epoch.
+
+        The caller (normally :class:`~repro.core.membership.
+        MembershipManager`) is responsible for driving the JOIN delta
+        that patches the MDT; this only updates the host-side view.
+        """
+        if ip in self.members:
+            raise GroupError(f"{ip} is already a member of "
+                             f"group {self.mcst_id:#x}")
+        self.members[ip] = qp
+        if mr is not None:
+            self.mr_info[ip] = mr
+        qp.connect(self.mcst_id, constants.VIRTUAL_DST_QP)
+        self.epoch += 1
+
+    def remove_member(self, ip: int) -> RoceQP:
+        """Retire a member (voluntary leave or failure prune).
+
+        The leader (it hosts the MRP controller) and the current source
+        (the MDT's root for in-flight traffic) cannot be removed, and
+        the group never shrinks below 2 members — multicast to one
+        receiver is a plain connection.
+        """
+        if ip not in self.members:
+            raise GroupError(f"{ip} is not a member of group {self.mcst_id:#x}")
+        if ip == self.leader_ip:
+            raise GroupError(f"leader {ip} cannot leave group "
+                             f"{self.mcst_id:#x} (it hosts the controller)")
+        if ip == self.current_source:
+            raise GroupError(f"current source {ip} cannot leave group "
+                             f"{self.mcst_id:#x} (switch the source first)")
+        if len(self.members) <= 2:
+            raise GroupError(
+                f"group {self.mcst_id:#x} cannot shrink below 2 members")
+        qp = self.members.pop(ip)
+        self.mr_info.pop(ip, None)
+        self.epoch += 1
+        return qp
 
     @property
     def size(self) -> int:

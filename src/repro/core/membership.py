@@ -1,0 +1,355 @@
+"""Dynamic group membership: incremental MRP join/leave/prune (§III-C).
+
+The paper's MRP is a hop-by-hop *registration protocol* over an
+evolving multicast distribution tree — a long-lived group (pub/sub
+topics, storage replica sets) gains and loses receivers at runtime.
+This module adds that lifecycle on top of the static registration path:
+
+* a :class:`MembershipManager` per group computes the minimal MDT delta
+  for a JOIN/LEAVE/PRUNE request and drives one incremental MRP
+  transaction (:class:`MembershipDelta`) per affected member.  A delta
+  packet carries a single member record plus the group's membership
+  *epoch*; switches patch only the affected MFT entries instead of
+  reinstalling the tree (`mrp_records_installed` on the accelerators
+  shows the economy);
+* on LEAVE/PRUNE each switch on the member's branch drains the member
+  from its port-member set, removes the Path Table entry once the port
+  serves nobody, and **re-evaluates the pending aggregate** — removing
+  the minimum AckPSN path must release any min-AckPSN/MePSN state that
+  was gating in-flight transfers (§III-D).  The member's *leaf* switch
+  confirms the transaction to the controller on the member's behalf, so
+  pruning completes even when the member host is dead;
+* a leaf-driven **failure detector** (missed-feedback timeout) watches
+  each receiver's per-path AckPSN at its leaf while the source has
+  outstanding data; a receiver whose feedback stagnates for
+  ``misses`` consecutive probe intervals is auto-pruned.  A delta that
+  cannot be installed (switch error / confirmation timeout after
+  retries) trips the group's :class:`~repro.core.fallback.
+  SafeguardMonitor`, the §V-D escape hatch.
+
+JOIN stream position: a joiner is not owed the PSNs emitted before it
+existed.  Its ``rqPSN`` is synchronized to the source's ``sqPSN`` (the
+same primitive as §III-E source switching) and its fresh MFT entries
+start at the group's current AggAckPSN, so an in-flight transfer
+neither stalls on the newcomer nor delivers it a partial message.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.group import MemberRecord, MulticastGroup
+from repro.core.mrp import MrpError, MrpPayload
+from repro.errors import GroupError, RegistrationError
+from repro.net.packet import Packet, PacketType
+from repro.net.simulator import Event
+
+__all__ = ["MembershipDelta", "MembershipManager"]
+
+
+class MembershipDelta:
+    """One incremental MRP transaction for a single member.
+
+    Started by the :class:`MembershipManager`, which also routes the
+    confirmation (from the joining host, or from the departing member's
+    leaf switch) back to :meth:`on_confirm`.
+    """
+
+    def __init__(
+        self,
+        manager: "MembershipManager",
+        op: str,
+        record: MemberRecord,
+        epoch: int,
+        *,
+        timeout: float = 2e-3,
+        retries: int = 1,
+        on_done: Optional[Callable[["MembershipDelta"], None]] = None,
+    ) -> None:
+        if op not in ("join", "leave", "prune"):
+            raise GroupError(f"unknown membership op {op!r}")
+        self.manager = manager
+        self.op = op
+        self.record = record
+        self.epoch = epoch
+        self.timeout = timeout
+        self.retries_left = retries
+        self.resends = 0
+        self.on_done = on_done
+        self.finished = False
+        self.failed_reason: Optional[str] = None
+        self._timeout_ev: Optional[Event] = None
+
+    @property
+    def ip(self) -> int:
+        return self.record.ip
+
+    def start(self) -> None:
+        self._emit()
+        self._timeout_ev = self.manager.sim.schedule(
+            self.timeout, self._on_timeout)
+
+    def _emit(self) -> None:
+        nic = self.manager.nic
+        payload = MrpPayload(
+            mcst_id=self.manager.group.mcst_id, seq=0, total=1,
+            controller_ip=nic.ip, nodes=[self.record],
+            op=self.op, epoch=self.epoch,
+        )
+        pkt = Packet(
+            PacketType.MRP, nic.ip, self.manager.group.mcst_id,
+            payload=payload.wire_bytes(), mrp=payload,
+            created_at=self.manager.sim.now,
+        )
+        nic.send(pkt)
+
+    # -- transaction outcome ----------------------------------------------------
+
+    def on_confirm(self, member_ip: int) -> None:
+        if self.finished or member_ip != self.record.ip:
+            return
+        self._finish(None)
+
+    def on_switch_error(self, err: MrpError) -> None:
+        if self.finished:
+            return
+        self._finish(f"{err.switch_name}: {err.reason}")
+
+    def _on_timeout(self) -> None:
+        if self.finished:
+            return
+        if self.retries_left > 0:
+            # MRP is UDP-based (§III-C): re-send the idempotent delta.
+            self.retries_left -= 1
+            self.resends += 1
+            self._emit()
+            self._timeout_ev = self.manager.sim.schedule(
+                self.timeout, self._on_timeout)
+            return
+        self._finish(f"timeout waiting for {self.op} confirmation "
+                     f"from {self.record.ip}")
+
+    def _finish(self, reason: Optional[str]) -> None:
+        self.finished = True
+        self.failed_reason = reason
+        if self._timeout_ev is not None:
+            self._timeout_ev.cancel()
+            self._timeout_ev = None
+        self.manager._delta_finished(self)
+        if self.on_done is not None:
+            self.on_done(self)
+
+
+class MembershipManager:
+    """Runtime membership controller for one registered group.
+
+    Lives on the leader host next to the MRP controller and reuses its
+    :class:`~repro.core.mrp.HostControlAgent` dispatch: the manager
+    registers itself as the group's control endpoint and routes each
+    confirmation to the in-flight delta for that member.
+    """
+
+    def __init__(self, fabric, group: MulticastGroup, *,
+                 delta_timeout: float = 2e-3, delta_retries: int = 1) -> None:
+        self.fabric = fabric
+        self.group = group
+        self.sim = fabric.sim
+        self.nic = fabric.topo.nic(group.leader_ip)
+        self.agent = fabric.agents[group.leader_ip]
+        self.delta_timeout = delta_timeout
+        self.delta_retries = delta_retries
+        self.safeguard = None                 # optional SafeguardMonitor
+        self.on_delta_failure: Optional[Callable[[MembershipDelta], None]] = None
+        self.pruned: Set[int] = set()
+        self.delta_failures: List[Tuple[str, int, str]] = []  # (op, ip, why)
+        #: (epoch, op, ip) log of applied membership changes.
+        self.epoch_log: List[Tuple[int, str, int]] = []
+        self._inflight: Dict[int, MembershipDelta] = {}
+        # failure detector state: ip -> (last AckPSN seen at leaf, strikes)
+        self._fd_marks: Dict[int, "Tuple[Optional[int], int]"] = {}
+        self._fd_ev: Optional[Event] = None
+        self.agent.attach_controller(self)
+
+    # -- control-plane dispatch (HostControlAgent protocol) --------------------
+
+    def on_confirm(self, member_ip: int) -> None:
+        delta = self._inflight.get(member_ip)
+        if delta is not None:
+            delta.on_confirm(member_ip)
+
+    def on_switch_error(self, err: MrpError) -> None:
+        # A switch error names the group, not the member: fail every
+        # in-flight delta (they share the MDT that just rejected state).
+        for delta in list(self._inflight.values()):
+            delta.on_switch_error(err)
+
+    def _delta_finished(self, delta: MembershipDelta) -> None:
+        self._inflight.pop(delta.record.ip, None)
+        if delta.failed_reason is not None:
+            self.delta_failures.append(
+                (delta.op, delta.record.ip, delta.failed_reason))
+            if self.safeguard is not None:
+                self.safeguard.trip(
+                    f"membership {delta.op}({delta.record.ip}) failed: "
+                    f"{delta.failed_reason}")
+            if self.on_delta_failure is not None:
+                self.on_delta_failure(delta)
+
+    def _launch(self, op: str, record: MemberRecord,
+                on_done: Optional[Callable[[MembershipDelta], None]]
+                ) -> MembershipDelta:
+        if record.ip in self._inflight:
+            raise GroupError(
+                f"a membership delta for {record.ip} is already in flight")
+        self.epoch_log.append((self.group.epoch, op, record.ip))
+        delta = MembershipDelta(
+            self, op, record, self.group.epoch,
+            timeout=self.delta_timeout, retries=self.delta_retries,
+            on_done=on_done,
+        )
+        self._inflight[record.ip] = delta
+        delta.start()
+        return delta
+
+    # -- join / leave / prune ---------------------------------------------------
+
+    def join(self, ip: int, qp, mr: Optional["tuple[int, int]"] = None, *,
+             on_done: Optional[Callable[[MembershipDelta], None]] = None
+             ) -> MembershipDelta:
+        """Admit ``ip`` and patch the MDT with a JOIN delta."""
+        self.group.add_member(ip, qp, mr)
+        # Stream-position sync (§III-E): the joiner expects the *next*
+        # PSN the source will emit, skipping anything already posted.
+        src_qp = self.group.members[self.group.current_source]
+        qp.rq_psn = src_qp.sq_psn
+        self._notify_epoch(qp)
+        vaddr, rkey = self.group.mr_info.get(ip, (0, 0))
+        record = MemberRecord(ip=ip, qpn=qp.qpn, vaddr=vaddr, rkey=rkey)
+        return self._launch("join", record, on_done)
+
+    def leave(self, ip: int, *,
+              on_done: Optional[Callable[[MembershipDelta], None]] = None
+              ) -> MembershipDelta:
+        """Voluntary departure: retire the member, patch the MDT."""
+        return self._remove(ip, "leave", on_done)
+
+    def prune(self, ip: int, reason: str = "", *,
+              on_done: Optional[Callable[[MembershipDelta], None]] = None
+              ) -> MembershipDelta:
+        """Controller-initiated eviction of a (presumed dead) member."""
+        delta = self._remove(ip, "prune", on_done)
+        self.pruned.add(ip)
+        return delta
+
+    def _remove(self, ip: int, op: str,
+                on_done: Optional[Callable[[MembershipDelta], None]]
+                ) -> MembershipDelta:
+        qp = self.group.qp_of(ip)
+        qpn = qp.qpn
+        self.group.remove_member(ip)   # raises for leader/source/size-2
+        self._notify_epoch(qp)
+        self._fd_marks.pop(ip, None)
+        record = MemberRecord(ip=ip, qpn=qpn)
+        return self._launch(op, record, on_done)
+
+    def _notify_epoch(self, qp) -> None:
+        """Tell the invariant monitor the QP changed membership epoch
+        (its PSN stream position is re-based, not corrupted)."""
+        obs = getattr(qp, "observer", None)
+        if obs is not None and hasattr(obs, "on_membership_epoch"):
+            obs.on_membership_epoch(qp, self.group.epoch)
+
+    # -- synchronous wrappers (setup/test convenience) --------------------------
+
+    def join_sync(self, ip: int, qp,
+                  mr: Optional["tuple[int, int]"] = None) -> None:
+        self._pump(self.join(ip, qp, mr))
+
+    def leave_sync(self, ip: int) -> None:
+        self._pump(self.leave(ip))
+
+    def prune_sync(self, ip: int, reason: str = "") -> None:
+        self._pump(self.prune(ip, reason))
+
+    def _pump(self, delta: MembershipDelta) -> None:
+        while not delta.finished:
+            nxt = self.sim.peek_next_time()
+            if nxt is None:
+                raise RegistrationError(
+                    f"membership {delta.op} stalled: no pending events")
+            self.sim.run(until=nxt)
+        if delta.failed_reason is not None:
+            raise RegistrationError(delta.failed_reason)
+
+    # -- leaf-driven failure detector ------------------------------------------
+
+    def start_failure_detector(self, *, interval: float = 150e-6,
+                               misses: int = 3) -> None:
+        """Auto-prune receivers whose leaf-observed feedback stagnates.
+
+        Every ``interval`` the detector reads each receiver's AckPSN at
+        its leaf MFT entry *while the source has outstanding data* (an
+        idle source legitimately produces silence).  ``misses``
+        consecutive stagnant probes mark the receiver dead.  A prune
+        that cannot proceed (the group would fall below 2 members)
+        trips the safeguard instead — the group cannot heal itself.
+        """
+        self.stop_failure_detector()
+        self._fd_interval = interval
+        self._fd_misses = misses
+        self._fd_ev = self.sim.schedule(interval, self._fd_tick)
+
+    def stop_failure_detector(self) -> None:
+        if self._fd_ev is not None:
+            self._fd_ev.cancel()
+            self._fd_ev = None
+
+    def _fd_tick(self) -> None:
+        self._fd_ev = self.sim.schedule(self._fd_interval, self._fd_tick)
+        src_ip = self.group.current_source
+        src_qp = self.group.members[src_ip]
+        if src_qp.send_idle:
+            # No outstanding data: feedback silence is expected.
+            self._fd_marks.clear()
+            return
+        for ip in list(self.group.receivers()):
+            if ip in self._inflight:
+                continue
+            ack = self._leaf_ack_psn(ip)
+            if ack is None:
+                continue   # leaf not accelerated / already patched out
+            if ack >= src_qp.sq_psn - 1:
+                # Fully caught up with everything posted: a plateau here
+                # is completion, not missed feedback (the source may be
+                # blocked on a *different* receiver's silence).
+                self._fd_marks[ip] = (ack, 0)
+                continue
+            last, strikes = self._fd_marks.get(ip, (None, 0))
+            if ack != last:
+                self._fd_marks[ip] = (ack, 0)
+                continue
+            strikes += 1
+            self._fd_marks[ip] = (ack, strikes)
+            if strikes >= self._fd_misses:
+                try:
+                    self.prune(ip, reason=f"no feedback for {strikes} "
+                                          f"probe intervals")
+                except GroupError as exc:
+                    self.delta_failures.append(("prune", ip, str(exc)))
+                    if self.safeguard is not None:
+                        self.safeguard.trip(
+                            f"cannot prune dead receiver {ip}: {exc}")
+                    self._fd_marks.pop(ip, None)
+
+    def _leaf_ack_psn(self, ip: int) -> Optional[int]:
+        """The receiver's per-path AckPSN at its leaf switch (the
+        leaf-driven missed-feedback signal, modeled at the controller)."""
+        leaf, port = self.fabric.topo.leaf_of(ip)
+        accel = self.fabric.accelerators.get(leaf.name)
+        if accel is None:
+            return None
+        mft = accel.mft_of(self.group.mcst_id)
+        if mft is None:
+            return None
+        entry = mft.entry(port)
+        return None if entry is None else entry.ack_psn

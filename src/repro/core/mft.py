@@ -22,7 +22,7 @@ alongside the MFT in the accelerator's BRAM.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Set
 
 from repro import constants
 from repro.errors import GroupError, RegistrationError
@@ -72,6 +72,19 @@ class Mft:
         # per-PSN contribution tracking for reduce mode:
         # psn -> set of tree ports that have contributed
         self.reduce_slots: Dict[int, set] = {}
+        # --- dynamic membership state (incremental MRP, §III-C) ---
+        # Monotonic membership epoch: every JOIN/LEAVE/PRUNE delta the
+        # controller issues carries the group's epoch; the switch keeps
+        # the maximum it has seen so out-of-order deltas are detectable.
+        self.epoch: int = 0
+        # Which member IPs each MDT port serves — the routing state a
+        # LEAVE/PRUNE delta needs to find the affected entry without a
+        # full tree recomputation.  An entry is only removed once its
+        # member set drains.
+        self.port_members: Dict[int, Set[int]] = {}
+        # Ports whose group-load counter this MFT incremented at
+        # registration time (so teardown/prune can decrement exactly).
+        self.loaded_ports: Set[int] = set()
 
     # -- path management -------------------------------------------------------
 
@@ -100,6 +113,35 @@ class Mft:
         self.path_table.append(entry)
         self.path_index[entry.port] = len(self.path_table)
         return entry
+
+    def remove_entry(self, port: int) -> Optional[PathEntry]:
+        """Remove the MDT path on ``port`` (incremental LEAVE/PRUNE).
+
+        Deletes the Path Table row, renumbers the Path Index slots that
+        pointed past it, and scrubs every piece of feedback state that
+        referenced the port so a stale trigger/CNP designation cannot
+        gate future aggregation.  Returns the removed entry, or None if
+        the port was not in the tree.
+        """
+        idx = self.path_index[port]
+        if not idx:
+            return None
+        removed = self.path_table.pop(idx - 1)
+        self.path_index[port] = 0
+        for p, i in enumerate(self.path_index):
+            if i > idx:
+                self.path_index[p] = i - 1
+        if self.tri_port == port:
+            self.tri_port = None
+        if getattr(self, "_min_port", None) == port:
+            self._min_port = None
+        if self.cnp_max_port == port:
+            self.cnp_max_port = None
+        self.cnp_counters.pop(port, None)
+        for slot in self.reduce_slots.values():
+            slot.discard(port)
+        self.port_members.pop(port, None)
+        return removed
 
     def entries(self) -> List[PathEntry]:
         return self.path_table

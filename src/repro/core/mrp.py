@@ -31,7 +31,7 @@ from repro.net.packet import Packet, PacketType
 from repro.net.simulator import Event, Simulator
 
 __all__ = ["MrpPayload", "MrpError", "MrpController", "HostControlAgent",
-           "chunk_records"]
+           "chunk_records", "MRP_OPS"]
 
 #: Fixed MRP header bytes (metadata: McstID, seq, total, controller IP).
 _MRP_METADATA_BYTES = 16
@@ -39,15 +39,30 @@ _MRP_METADATA_BYTES = 16
 _MRP_NODE_BYTES = 8
 
 
+#: MRP operations.  ``register`` installs the full tree (§III-C);
+#: ``join`` is an incremental single-member install that patches only
+#: the affected switches; ``leave``/``prune`` remove a member's entries
+#: hop by hop (``prune`` marks a controller-initiated eviction of a
+#: dead receiver — identical on-switch, distinct for provenance).
+MRP_OPS = ("register", "join", "leave", "prune")
+
+
 @dataclass
 class MrpPayload:
-    """In-simulation representation of the Fig. 5 packet layout."""
+    """In-simulation representation of the Fig. 5 packet layout.
+
+    ``op`` and ``epoch`` ride in the 16-byte metadata header (2 spare
+    bytes in the Fig. 5 layout), so delta packets cost no extra wire
+    bytes over a plain registration chunk.
+    """
 
     mcst_id: int
     seq: int
     total: int
     controller_ip: int
     nodes: List[MemberRecord]
+    op: str = "register"
+    epoch: int = 0
 
     def wire_bytes(self) -> int:
         return _MRP_METADATA_BYTES + _MRP_NODE_BYTES * len(self.nodes)
@@ -132,12 +147,17 @@ class MrpController:
         timeout: float = 10e-3,
         gather_delay: float = 5e-6,
         allow_partial: bool = False,
+        retries: int = 0,
     ) -> None:
         """``allow_partial`` implements the probing half of the paper's
         envisioned fine-grained fallback (§V-D future work): a timeout
         with at least one confirmation *succeeds*, recording the silent
         members in :attr:`unconfirmed` so the caller can re-form the
-        group around the survivors."""
+        group around the survivors.
+
+        ``retries`` re-sends the MRP packets up to that many times on a
+        confirmation timeout before declaring failure (MRP is UDP-based,
+        §III-C — a lost control packet should not doom the group)."""
         self.sim = sim
         self.group = group
         self.nic = leader_nic
@@ -146,6 +166,8 @@ class MrpController:
         self.timeout = timeout
         self.gather_delay = gather_delay
         self.allow_partial = allow_partial
+        self.retries_left = retries
+        self.resends = 0
         self._pending: Set[int] = set()
         self._timeout_ev: Optional[Event] = None
         self.finished = False
@@ -158,7 +180,8 @@ class MrpController:
         """Step 1: gather member states out-of-band, then emit MRP."""
         self.sim.schedule(self.gather_delay, self._send_mrp_packets)
 
-    def _send_mrp_packets(self) -> None:
+    def _emit_packets(self) -> None:
+        """(Re-)send the registration chunks; pending state untouched."""
         records = self.group.member_records()
         chunks = chunk_records(records)
         total = len(chunks)
@@ -173,6 +196,9 @@ class MrpController:
                 created_at=self.sim.now,
             )
             self.nic.send(pkt)
+
+    def _send_mrp_packets(self) -> None:
+        self._emit_packets()
         self._pending = {
             ip for ip in self.group.members if ip != self.group.leader_ip
         }
@@ -196,6 +222,15 @@ class MrpController:
 
     def _on_timeout(self) -> None:
         if self.finished:
+            return
+        if self.retries_left > 0 and self._pending:
+            # Re-send the (idempotent) MRP chunks: switches that already
+            # installed their MFT slices simply re-affirm, members that
+            # missed the first round get another chance to confirm.
+            self.retries_left -= 1
+            self.resends += 1
+            self._emit_packets()
+            self._timeout_ev = self.sim.schedule(self.timeout, self._on_timeout)
             return
         missing = sorted(self._pending)
         expected = len(self.group.members) - 1

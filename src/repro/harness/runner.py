@@ -37,6 +37,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {
     "fig12": experiments.fig12_large_scale,
     "fig13": experiments.fig13_loss,
     "fig14": experiments.fig14_fairness,
+    "churn": experiments.churn_membership,
     "abl-ack": ablations.ablation_ack_trigger,
     "abl-nack": ablations.ablation_nack_rule,
     "abl-cnp": ablations.ablation_cnp_filter,

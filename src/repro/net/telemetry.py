@@ -26,6 +26,21 @@ from repro.net.simulator import Event, Simulator
 __all__ = ["LatencyStats", "DeliveryTap", "QueueDepthProbe", "PacketLog"]
 
 
+def _percentile_of(ordered: List[float], p: float) -> float:
+    """Linear-interpolated percentile of an already-sorted sample list."""
+    if not ordered:
+        return 0.0
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile out of range: {p}")
+    rank = (p / 100) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
 class LatencyStats:
     """Accumulates samples; exact percentiles over the retained window.
 
@@ -54,25 +69,17 @@ class LatencyStats:
 
     def percentile(self, p: float) -> float:
         """Exact percentile of the retained samples (p in [0, 100])."""
-        if not self._samples:
-            return 0.0
-        if not 0 <= p <= 100:
-            raise ValueError(f"percentile out of range: {p}")
-        ordered = sorted(self._samples)
-        rank = (p / 100) * (len(ordered) - 1)
-        lo = math.floor(rank)
-        hi = math.ceil(rank)
-        if lo == hi:
-            return ordered[lo]
-        frac = rank - lo
-        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+        return _percentile_of(sorted(self._samples), p)
 
     def summary(self) -> dict:
+        # Sort the window once and read every percentile off it, instead
+        # of re-sorting per percentile() call.
+        ordered = sorted(self._samples)
         return {
             "count": self.count,
             "mean": self.mean,
-            "p50": self.percentile(50),
-            "p99": self.percentile(99),
+            "p50": _percentile_of(ordered, 50),
+            "p99": _percentile_of(ordered, 99),
             "max": self.max_value,
         }
 

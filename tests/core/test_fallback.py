@@ -58,6 +58,54 @@ class TestMonitor:
         cl.run()
         assert cl.sim.peek_next_time() is None  # no orphaned timers
 
+    def test_bounded_idle_rearm_then_stand_down(self):
+        """The watchdog re-arms through idle windows (a gap between
+        back-to-back sends is not the end of the transfer), but only
+        ``idle_grace_windows`` times — then it drains for good."""
+        cl, qa = self._transfer()
+        mon = SafeguardMonitor(cl.sim, qa, expected_bps=90e9, window=100e-6,
+                               idle_grace_windows=4)
+        qa.post_send(4096)
+        mon.start()
+        cl.run()
+        assert not mon.triggered
+        assert mon._idle_windows == 4          # re-armed exactly 4 times
+        assert cl.sim.peek_next_time() is None
+
+    def test_guards_send_posted_during_idle_gap(self):
+        """A transfer that starts inside the idle grace period is still
+        watched: if its goodput collapses, the monitor trips — the old
+        behavior stood down permanently on the first idle window."""
+        cl, qa = self._transfer()
+        tripped = []
+        mon = SafeguardMonitor(cl.sim, qa, expected_bps=90e9, window=200e-6,
+                               idle_grace_windows=50,
+                               on_fallback=tripped.append)
+        qa.post_send(4096)                      # finishes almost instantly
+        mon.start()
+        # Mid-grace: cripple the path, then post a doomed second send.
+        cl.sim.schedule(1e-3, cl.topo.set_loss_rate, 0.9)
+        cl.sim.schedule(1.1e-3, qa.post_send, 8 << 20)
+        cl.run(until=30e-3)
+        assert mon.triggered
+        assert len(tripped) == 1
+
+    def test_active_window_resets_idle_budget(self):
+        """Idle windows interleaved with traffic never exhaust the
+        grace budget — only a *consecutive* run of them stands down."""
+        cl, qa = self._transfer()
+        mon = SafeguardMonitor(cl.sim, qa, expected_bps=90e9, window=100e-6,
+                               idle_grace_windows=3)
+        qa.post_send(4096)
+        mon.start()
+        # Re-post inside the grace period a few times: each active
+        # window must zero the idle counter.
+        for i in range(1, 4):
+            cl.sim.schedule(i * 150e-6, qa.post_send, 4096)
+        cl.run()
+        assert not mon.triggered
+        assert cl.sim.peek_next_time() is None  # still drains eventually
+
 
 class TestRegistrationFallback:
     def test_falls_back_to_chain_when_mft_full(self):

@@ -28,6 +28,42 @@ class TestAllocator:
         ids = [alloc.allocate() for _ in range(100)]
         assert ids == sorted(set(ids))
 
+    def test_exhaustion_raises(self):
+        alloc = McstIdAllocator(capacity=3)
+        for _ in range(3):
+            alloc.allocate()
+        with pytest.raises(GroupError, match="exhausted"):
+            alloc.allocate()
+
+    def test_release_recycles_lowest_first(self):
+        alloc = McstIdAllocator()
+        a, b, c = alloc.allocate(), alloc.allocate(), alloc.allocate()
+        alloc.release(c)
+        alloc.release(a)
+        assert alloc.allocate() == a   # lowest recycled id wins
+        assert alloc.allocate() == c
+        assert alloc.live_count == 3
+
+    def test_release_unblocks_exhaustion(self):
+        alloc = McstIdAllocator(capacity=1)
+        gid = alloc.allocate()
+        with pytest.raises(GroupError):
+            alloc.allocate()
+        alloc.release(gid)
+        assert alloc.allocate() == gid
+
+    def test_double_release_rejected(self):
+        alloc = McstIdAllocator()
+        gid = alloc.allocate()
+        alloc.release(gid)
+        with pytest.raises(GroupError, match="double release"):
+            alloc.release(gid)
+
+    def test_release_of_never_allocated_rejected(self):
+        alloc = McstIdAllocator()
+        with pytest.raises(GroupError):
+            alloc.release(constants.MCSTID_BASE + 7)
+
 
 class TestMembership:
     def test_leader_defaults_to_first(self):

@@ -1,0 +1,257 @@
+"""Dynamic membership: incremental MRP deltas, epochs, failure pruning."""
+
+import pytest
+
+from repro.apps import Cluster
+from repro.check import InvariantMonitor
+from repro.collectives import CepheusBcast
+from repro.core.fallback import SafeguardMonitor
+from repro.errors import GroupError, RegistrationError
+from repro.net.failures import FailureInjector
+
+
+def _installed(fabric):
+    return sum(a.mrp_records_installed for a in fabric.accelerators.values())
+
+
+def _removed(fabric):
+    return sum(a.mrp_records_removed for a in fabric.accelerators.values())
+
+
+def _group_of(cl, n_members):
+    algo = CepheusBcast(cl, cl.host_ips[:n_members])
+    algo.prepare()
+    return algo
+
+
+class TestJoin:
+    def test_join_installs_strictly_fewer_records_than_full(self, testbed8):
+        algo = _group_of(testbed8, 4)
+        fabric = testbed8.fabric
+        full = _installed(fabric)
+        mm = fabric.membership(algo.group)
+        ip = testbed8.host_ips[4]
+        mm.join_sync(ip, testbed8.ctx(ip).create_qp())
+        delta = _installed(fabric) - full
+        assert 0 < delta < full
+        assert ip in algo.group.members
+
+    def test_join_bumps_epoch_and_logs(self, testbed8):
+        algo = _group_of(testbed8, 4)
+        mm = testbed8.fabric.membership(algo.group)
+        assert algo.group.epoch == 0
+        ip = testbed8.host_ips[4]
+        mm.join_sync(ip, testbed8.ctx(ip).create_qp())
+        assert algo.group.epoch == 1
+        assert mm.epoch_log == [(1, "join", ip)]
+
+    def test_joiner_receives_next_message_not_the_past(self, testbed8):
+        algo = _group_of(testbed8, 4)
+        fabric = testbed8.fabric
+        src = algo.group.members[algo.group.current_source]
+        src.post_send(64_000)
+        testbed8.sim.run()
+
+        mm = fabric.membership(algo.group)
+        ip = testbed8.host_ips[4]
+        qp = testbed8.ctx(ip).create_qp()
+        mm.join_sync(ip, qp)
+        got = []
+        qp.on_message = lambda mid, sz, now, meta: got.append(sz)
+        src.post_send(32_000)
+        testbed8.sim.run()
+        assert got == [32_000]   # the pre-join message is not replayed
+
+    def test_join_on_fat_tree_patches_only_the_branch(self, fat_tree_cluster):
+        cl = fat_tree_cluster
+        algo = _group_of(cl, 5)
+        fabric = cl.fabric
+        full = _installed(fabric)
+        mm = fabric.membership(algo.group)
+        ip = cl.host_ips[5]
+        mm.join_sync(ip, cl.ctx(ip).create_qp())
+        assert _installed(fabric) - full < full
+
+    def test_duplicate_join_rejected(self, testbed8):
+        algo = _group_of(testbed8, 4)
+        mm = testbed8.fabric.membership(algo.group)
+        ip = testbed8.host_ips[1]   # already a member
+        with pytest.raises(GroupError):
+            mm.join(ip, testbed8.ctx(ip).create_qp())
+
+
+class TestLeave:
+    def test_leave_removes_leaf_entry_and_counts(self, testbed8):
+        algo = _group_of(testbed8, 4)
+        fabric = testbed8.fabric
+        mm = fabric.membership(algo.group)
+        victim = testbed8.host_ips[2]
+        sw, port = testbed8.topo.leaf_of(victim)
+        mft = fabric.accelerators[sw.name].mft_of(algo.group.mcst_id)
+        assert mft.entry(port) is not None
+        mm.leave_sync(victim)
+        assert mft.entry(port) is None
+        assert victim not in algo.group.members
+        assert _removed(fabric) >= 1
+
+    def test_leader_and_source_cannot_leave(self, testbed8):
+        algo = _group_of(testbed8, 4)
+        mm = testbed8.fabric.membership(algo.group)
+        with pytest.raises(GroupError):
+            mm.leave(algo.group.leader_ip)
+
+    def test_group_never_shrinks_below_two(self, testbed8):
+        algo = _group_of(testbed8, 3)
+        mm = testbed8.fabric.membership(algo.group)
+        mm.leave_sync(testbed8.host_ips[1])
+        with pytest.raises(GroupError):
+            mm.leave(testbed8.host_ips[2])
+
+    def test_delivery_continues_after_leave(self, testbed8):
+        algo = _group_of(testbed8, 4)
+        mm = testbed8.fabric.membership(algo.group)
+        got = {ip: 0 for ip in algo.group.receivers()}
+        for ip in got:
+            def h(mid, sz, now, meta, _ip=ip):
+                got[_ip] += 1
+            algo.group.members[ip].on_message = h
+        src = algo.group.members[algo.group.current_source]
+        victim = testbed8.host_ips[2]
+        mm.leave_sync(victim)
+        src.post_send(64_000)
+        testbed8.sim.run()
+        for ip, n in got.items():
+            assert n == (0 if ip == victim else 1)
+
+
+class TestFailurePruning:
+    def test_dead_receiver_pruned_and_aggregate_unsticks(self, testbed8):
+        """The headline scenario: a receiver crashes mid-broadcast; the
+        missed-feedback detector prunes it, the leaf re-evaluates the
+        min-AckPSN aggregate, and the transfer completes for everyone
+        else."""
+        cl = testbed8
+        algo = _group_of(cl, 5)
+        fabric = cl.fabric
+        monitor = InvariantMonitor()
+        monitor.attach_cluster(cl)
+        try:
+            mm = fabric.membership(algo.group)
+            mm.start_failure_detector(interval=150e-6, misses=3)
+            injector = FailureInjector(cl.topo)
+            victim = cl.host_ips[3]
+            done = []
+            src = algo.group.members[algo.group.current_source]
+
+            def crash():
+                sw, port = cl.topo.leaf_of(victim)
+                injector.fail_link(sw, port)
+
+            cl.sim.schedule(20e-6, crash)
+            src.post_send(256_000, on_complete=lambda mid, now: done.append(now))
+            cl.sim.run(until=cl.sim.now + 0.02)
+            mm.stop_failure_detector()
+
+            assert done, "transfer never completed: aggregate still stuck"
+            assert victim in mm.pruned
+            assert victim not in algo.group.members
+            assert src.send_idle
+            monitor.check_mft_consistency(fabric, expect_connected=True,
+                                          injector=injector)
+            assert monitor.violations == []
+        finally:
+            monitor.detach()
+
+    def test_healthy_receivers_not_pruned_while_source_blocked(self, testbed8):
+        """A caught-up receiver's AckPSN plateaus while the source waits
+        on the dead one — the detector must not evict it."""
+        cl = testbed8
+        algo = _group_of(cl, 5)
+        mm = cl.fabric.membership(algo.group)
+        mm.start_failure_detector(interval=150e-6, misses=3)
+        injector = FailureInjector(cl.topo)
+        victim = cl.host_ips[3]
+        src = algo.group.members[algo.group.current_source]
+        sw, port = cl.topo.leaf_of(victim)
+        cl.sim.schedule(20e-6, injector.fail_link, sw, port)
+        src.post_send(256_000)
+        cl.sim.run(until=cl.sim.now + 0.02)
+        mm.stop_failure_detector()
+        assert mm.pruned == {victim}
+
+    def test_idle_source_produces_no_prunes(self, testbed8):
+        algo = _group_of(testbed8, 4)
+        mm = testbed8.fabric.membership(algo.group)
+        mm.start_failure_detector(interval=150e-6, misses=3)
+        testbed8.sim.run(until=testbed8.sim.now + 0.005)
+        mm.stop_failure_detector()
+        assert mm.pruned == set()
+
+
+class TestDeltaFailure:
+    def test_unconfirmed_join_raises_and_trips_safeguard(self, testbed8):
+        algo = _group_of(testbed8, 4)
+        fabric = testbed8.fabric
+        mm = fabric.membership(algo.group)
+        src = algo.group.members[algo.group.current_source]
+        mm.safeguard = SafeguardMonitor(testbed8.sim, src, expected_bps=90e9)
+        ip = testbed8.host_ips[4]
+        # Silence the joiner's control plane: its confirmation never comes.
+        testbed8.topo.nic(ip).control_handler = None
+        with pytest.raises(RegistrationError, match="timeout"):
+            mm.join_sync(ip, testbed8.ctx(ip).create_qp())
+        assert mm.delta_failures and mm.delta_failures[0][0] == "join"
+        assert mm.safeguard.triggered
+        assert "membership join" in mm.safeguard.trigger_reason
+
+    def test_delta_retry_masks_one_lost_window(self, testbed8):
+        algo = _group_of(testbed8, 4)
+        fabric = testbed8.fabric
+        mm = fabric.membership(algo.group)
+        mm.delta_timeout = 200e-6
+        ip = testbed8.host_ips[4]
+        nic = testbed8.topo.nic(ip)
+        saved = nic.control_handler
+        nic.control_handler = None
+        # Restore the handler before the retry fires: the re-sent delta
+        # must succeed.
+        testbed8.sim.schedule(
+            150e-6, lambda: setattr(nic, "control_handler", saved))
+        mm.join_sync(ip, testbed8.ctx(ip).create_qp())
+        assert ip in algo.group.members
+        assert not mm.delta_failures
+
+
+class TestLifecycle:
+    def test_unregister_recycles_mcst_id_and_manager(self, testbed8):
+        fabric = testbed8.fabric
+        algo = _group_of(testbed8, 4)
+        gid = algo.group.mcst_id
+        mm = fabric.membership(algo.group)
+        assert fabric.membership(algo.group) is mm   # cached
+        fabric.unregister(algo.group)
+        assert gid not in fabric.groups
+        assert fabric.alloc.allocate() == gid        # recycled, lowest-first
+
+    def test_invariants_clean_across_epochs(self, testbed8):
+        cl = testbed8
+        monitor = InvariantMonitor()
+        monitor.attach_cluster(cl)
+        try:
+            algo = _group_of(cl, 4)
+            mm = cl.fabric.membership(algo.group)
+            src = algo.group.members[algo.group.current_source]
+            src.post_send(64_000)
+            cl.sim.run()
+            ip5 = cl.host_ips[4]
+            mm.join_sync(ip5, cl.ctx(ip5).create_qp())
+            src.post_send(64_000)
+            cl.sim.run()
+            mm.leave_sync(cl.host_ips[2])
+            src.post_send(64_000)
+            cl.sim.run()
+            monitor.check_mft_consistency(cl.fabric, expect_connected=True)
+            assert monitor.violations == []
+            assert algo.group.epoch == 2
+        finally:
+            monitor.detach()

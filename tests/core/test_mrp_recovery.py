@@ -1,0 +1,86 @@
+"""MRP controller recovery: confirmation timeouts, retries, switch errors."""
+
+import pytest
+
+from repro.apps import Cluster
+from repro.core.accelerator import AcceleratorConfig
+from repro.core.mrp import MrpController
+from repro.errors import RegistrationError
+
+
+def _start_registration(cl, **ctl_kwargs):
+    fabric = cl.fabric
+    qps = {ip: cl.ctx(ip).create_qp() for ip in cl.host_ips}
+    group = fabric.create_group(qps, leader_ip=cl.host_ips[0])
+    outcome = {"ok": False, "reason": None}
+    ctl = MrpController(
+        cl.sim, group, cl.topo.nic(group.leader_ip),
+        on_success=lambda: outcome.update(ok=True),
+        on_failure=lambda r: outcome.update(reason=r),
+        **ctl_kwargs,
+    )
+    fabric.agents[group.leader_ip].attach_controller(ctl)
+    ctl.start()
+    return group, ctl, outcome
+
+
+class TestTimeout:
+    def test_silent_member_times_out_without_retries(self, testbed):
+        testbed.topo.nic(3).control_handler = None   # member 3 never confirms
+        group, ctl, outcome = _start_registration(testbed, timeout=500e-6)
+        testbed.sim.run()
+        assert not outcome["ok"]
+        assert "timeout" in outcome["reason"]
+        assert ctl.resends == 0
+        assert "[3]" in outcome["reason"]   # names the silent member
+
+    def test_retry_resends_and_recovers(self, testbed):
+        nic = testbed.topo.nic(3)
+        saved = nic.control_handler
+        nic.control_handler = None
+        group, ctl, outcome = _start_registration(
+            testbed, timeout=500e-6, retries=1)
+        # Heal the member before the retry window fires: the re-sent MRP
+        # packets must complete the registration.
+        testbed.sim.schedule(
+            400e-6, lambda: setattr(nic, "control_handler", saved))
+        testbed.sim.run()
+        assert outcome["ok"]
+        assert ctl.resends == 1
+        assert group.registered
+
+    def test_retries_exhausted_still_fails(self, testbed):
+        testbed.topo.nic(3).control_handler = None
+        group, ctl, outcome = _start_registration(
+            testbed, timeout=300e-6, retries=2)
+        testbed.sim.run()
+        assert not outcome["ok"]
+        assert ctl.resends == 2
+        assert "timeout" in outcome["reason"]
+
+
+class TestSwitchError:
+    def test_mft_capacity_error_names_the_switch(self):
+        cl = Cluster.testbed(4, accel_config=AcceleratorConfig(max_groups=0))
+        group, ctl, outcome = _start_registration(cl)
+        cl.sim.run()
+        assert not outcome["ok"]
+        assert "sw0" in outcome["reason"]
+        assert not group.registered
+
+    def test_switch_error_fails_fast_no_retry_storm(self):
+        """A hard switch rejection must not burn the retry budget — the
+        error is deterministic, not a lost packet."""
+        cl = Cluster.testbed(4, accel_config=AcceleratorConfig(max_groups=0))
+        group, ctl, outcome = _start_registration(cl, retries=3)
+        cl.sim.run()
+        assert not outcome["ok"]
+        assert ctl.resends == 0
+
+    def test_register_sync_raises_on_switch_error(self):
+        cl = Cluster.testbed(4, accel_config=AcceleratorConfig(max_groups=0))
+        fabric = cl.fabric
+        qps = {ip: cl.ctx(ip).create_qp() for ip in cl.host_ips}
+        group = fabric.create_group(qps, leader_ip=cl.host_ips[0])
+        with pytest.raises(RegistrationError):
+            fabric.register_sync(group)

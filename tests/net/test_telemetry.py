@@ -45,6 +45,22 @@ class TestLatencyStats:
         s.record(5.0)
         assert set(s.summary()) == {"count", "mean", "p50", "p99", "max"}
 
+    def test_summary_matches_percentile_calls(self):
+        """summary() sorts the window once; its percentiles must agree
+        with the per-call percentile() path exactly."""
+        s = LatencyStats()
+        for v in (9.0, 1.0, 7.0, 3.0, 5.0, 2.0, 8.0, 4.0, 6.0):
+            s.record(v)
+        out = s.summary()
+        assert out["p50"] == s.percentile(50)
+        assert out["p99"] == s.percentile(99)
+        assert out["mean"] == pytest.approx(s.mean)
+        assert out["max"] == s.max_value
+
+    def test_summary_of_empty_window(self):
+        out = LatencyStats().summary()
+        assert out["p50"] == 0.0 and out["p99"] == 0.0
+
 
 class TestDeliveryTap:
     def test_records_one_way_delay(self):
