@@ -1,8 +1,8 @@
 """Online protocol-invariant checking for the Cepheus fabric.
 
 `repro.check` is correctness tooling, not simulation machinery: the
-:class:`~repro.check.invariants.InvariantMonitor` taps the observer
-hooks exposed by the simulator, switch/accelerator and QP layers and
+:class:`~repro.check.invariants.InvariantMonitor` subscribes to the
+simulation's :class:`~repro.net.pipeline.ObserverBus` channels and
 asserts the paper's reliability invariants (§III-D, §V) on every event.
 The chaos harness (:mod:`repro.harness.chaos`) and the property tests
 run everything under this monitor so a regression in the feedback

@@ -35,14 +35,16 @@ failure schedule or source rotation:
     tree port — plus, on demand, MDT/topology consistency after
     :class:`~repro.net.failures.FailureInjector` cuts and repairs.
 
-The monitor is *online*: it attaches to the observer hooks of
-:class:`~repro.core.feedback.FeedbackEngine`,
-:class:`~repro.core.accelerator.CepheusAccelerator` and
-:class:`~repro.transport.roce.RoceQP`, and optionally to the
-simulator's event tracer for sampled structural sweeps.  In the default
-(non-strict) mode violations are recorded and the run continues — the
-chaos harness needs the full trace to shrink a reproducer; ``strict=True``
-raises :class:`InvariantViolationError` at the first offence.
+The monitor is *online*: it subscribes to the simulation's single
+:class:`~repro.net.pipeline.ObserverBus` — the ``feedback``,
+``replicate``, ``qp_send``, ``deliver`` and ``membership_epoch``
+channels the datapath publishes on, and optionally the per-event
+``event`` channel for sampled structural sweeps.  Subscriptions use
+``propagate=True`` so strict-mode violations abort the run instead of
+being isolated like ordinary observers.  In the default (non-strict)
+mode violations are recorded and the run continues — the chaos harness
+needs the full trace to shrink a reproducer; ``strict=True`` raises
+:class:`InvariantViolationError` at the first offence.
 
 Ablation configurations are respected: when a feature switch
 (``trigger_condition``, ``nack_aggregation``, ``cnp_filter``,
@@ -120,22 +122,34 @@ class InvariantMonitor:
         # per-MFT highest membership epoch observed (must not regress)
         self._mft_epoch: Dict[int, int] = {}
         self._fabrics: List[object] = []
-        self._installed_clusters: List[object] = []
+        # Every bus subscription this monitor made, for symmetric detach.
+        self._subscriptions: List[Tuple[object, str, object]] = []
 
     # ------------------------------------------------------------------
-    # attachment
+    # attachment (bus subscriptions)
     # ------------------------------------------------------------------
+
+    def _subscribe(self, bus, channel: str, fn) -> None:
+        """Idempotent tracked subscription; ``propagate=True`` so the
+        strict-mode :class:`InvariantViolationError` escapes the bus's
+        observer isolation and aborts the run."""
+        if bus.is_subscribed(channel, fn):
+            return
+        bus.subscribe(channel, fn, propagate=True)
+        self._subscriptions.append((bus, channel, fn))
 
     def attach_engine(self, engine) -> None:
         """Monitor one :class:`FeedbackEngine` (unit-level use)."""
-        engine.observer = self
+        self._subscribe(engine.bus, "feedback", self.on_feedback)
 
     def attach_accelerator(self, accel) -> None:
-        accel.observer = self
-        accel.feedback.observer = self
+        self._subscribe(accel.bus, "replicate", self.on_replicate)
+        self._subscribe(accel.feedback.bus, "feedback", self.on_feedback)
 
     def attach_qp(self, qp) -> None:
-        qp.observer = self
+        self._subscribe(qp.bus, "qp_send", self.on_qp_send)
+        self._subscribe(qp.bus, "deliver", self.on_qp_deliver)
+        self._subscribe(qp.bus, "membership_epoch", self.on_membership_epoch)
         self._qp_names[id(qp)] = f"{qp.nic.name}:qp{qp.qpn:#x}"
 
     def attach_fabric(self, fabric) -> None:
@@ -144,32 +158,28 @@ class InvariantMonitor:
         self._fabrics.append(fabric)
 
     def attach_cluster(self, cluster, trace: bool = True) -> None:
-        """Tap every layer of a :class:`~repro.apps.cluster.Cluster`:
-        all accelerators, all existing QPs, QPs created later (via the
-        class-level default observer), and — when ``trace`` — the
-        simulator event loop for sampled structural sweeps."""
-        from repro.transport.roce import RoceQP
-
+        """Tap every layer of a :class:`~repro.apps.cluster.Cluster`
+        through its simulator's bus: accelerators, feedback engines, all
+        QPs — including QPs created later, because the bus lives on the
+        simulator, not the components — and, when ``trace``, the
+        per-event channel for sampled structural sweeps."""
+        bus = cluster.sim.bus
         if cluster.fabric is not None:
             self.attach_fabric(cluster.fabric)
         for ctx in cluster.ctxs.values():
             for qp in ctx.qps:
                 self.attach_qp(qp)
-        RoceQP.default_observer = self
+        self._subscribe(bus, "qp_send", self.on_qp_send)
+        self._subscribe(bus, "deliver", self.on_qp_deliver)
+        self._subscribe(bus, "membership_epoch", self.on_membership_epoch)
         if trace:
-            cluster.sim.tracer = self.on_event
-        self._installed_clusters.append(cluster)
+            self._subscribe(bus, "event", self.on_event)
 
     def detach(self) -> None:
-        """Undo cluster-level installation (class default + tracers)."""
-        from repro.transport.roce import RoceQP
-
-        if RoceQP.default_observer is self:
-            RoceQP.default_observer = None
-        for cluster in self._installed_clusters:
-            if cluster.sim.tracer == self.on_event:
-                cluster.sim.tracer = None
-        self._installed_clusters.clear()
+        """Unsubscribe every bus channel this monitor attached to."""
+        for bus, channel, fn in self._subscriptions:
+            bus.unsubscribe(channel, fn)
+        self._subscriptions.clear()
 
     # ------------------------------------------------------------------
     # verdicts

@@ -13,6 +13,7 @@ Installed as the ``cepheus-repro`` console script::
     cepheus-repro churn replay repro.json        # re-run a churn reproducer
     cepheus-repro bench emit --jobs 4            # parallel run -> BENCH_quick.json
     cepheus-repro bench compare BENCH_quick.json benchmarks/baselines/BENCH_quick.json
+    cepheus-repro pipeline dump --deployment lookaside  # stage chains
     cepheus-repro info                           # model constants
 """
 
@@ -254,7 +255,11 @@ def _cmd_bench_compare(args) -> int:
     except (OSError, ValueError) as exc:
         print(f"bench: {exc}", file=sys.stderr)
         return 2
-    comp = bench.compare(current, baseline, tolerances)
+    comp = bench.compare(
+        current, baseline, tolerances,
+        check_events=args.check_events,
+        max_wall_drift=args.max_wall_drift if args.max_wall_drift >= 0
+        else None)
     print(comp.format(verbose=args.verbose))
     if comp.ok:
         print("bench: no regressions", file=sys.stderr)
@@ -263,6 +268,34 @@ def _cmd_bench_compare(args) -> int:
           f"{len(comp.missing_experiments)} missing experiment(s)",
           file=sys.stderr)
     return 1
+
+
+def _cmd_pipeline_dump(args) -> int:
+    from repro.apps import Cluster
+    from repro.core.accelerator import AcceleratorConfig
+
+    accel_config = AcceleratorConfig(deployment=args.deployment)
+    if args.topo == "star":
+        cluster = Cluster.testbed(args.hosts, accel_config=accel_config)
+    else:
+        cluster = Cluster.fat_tree_cluster(args.k, accel_config=accel_config)
+    switches = cluster.topo.switches
+    if args.switch:
+        switches = [s for s in switches if s.name == args.switch]
+        if not switches:
+            names = ", ".join(s.name for s in cluster.topo.switches)
+            print(f"pipeline: no switch {args.switch!r} (have: {names})",
+                  file=sys.stderr)
+            return 2
+    print(f"topology {args.topo}; deployment {args.deployment}")
+    for sw in switches:
+        print(f"\n{sw.name} ({sw.n_ports} ports)")
+        print(f"  rx: {sw.pipeline.describe()}")
+        if sw.accelerator is not None:
+            accel = sw.accelerator
+            print(f"  accel[{accel.cfg.deployment}]: "
+                  f"{accel.pipeline.describe()}")
+    return 0
 
 
 def _cmd_info(args) -> int:
@@ -420,9 +453,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("baseline", help="committed baseline BENCH JSON")
     p_cmp.add_argument("--tolerances", default="",
                        help="tolerance JSON (default: built-in 8% rel)")
+    p_cmp.add_argument("--check-events", action="store_true",
+                       help="require per-experiment simulator event "
+                            "counts to match the baseline exactly")
+    p_cmp.add_argument("--max-wall-drift", type=float, default=-1.0,
+                       help="fail if total_wall_s exceeds the baseline "
+                            "by more than this fraction (e.g. 0.10); "
+                            "one-sided, off by default")
     p_cmp.add_argument("--verbose", action="store_true",
                        help="print passing metrics too")
     p_cmp.set_defaults(fn=_cmd_bench_compare)
+
+    p_pipe = sub.add_parser(
+        "pipeline", help="inspect the configured datapath stage chains")
+    pipe_sub = p_pipe.add_subparsers(dest="pipeline_command", required=True)
+
+    p_dump = pipe_sub.add_parser(
+        "dump", help="print each switch's rx chain and accelerator "
+                     "stage chain (inline vs lookaside)")
+    p_dump.add_argument("--topo", default="star",
+                        choices=("star", "fat_tree"))
+    p_dump.add_argument("--hosts", type=int, default=4,
+                        help="host count (star topo only)")
+    p_dump.add_argument("--k", type=int, default=4,
+                        help="fat-tree arity (fat_tree topo only)")
+    p_dump.add_argument("--deployment", default="inline",
+                        choices=("inline", "lookaside"))
+    p_dump.add_argument("--switch", default="",
+                        help="only this switch (default: all)")
+    p_dump.set_defaults(fn=_cmd_pipeline_dump)
 
     p_info = sub.add_parser("info", help="print the model constants")
     p_info.set_defaults(fn=_cmd_info)

@@ -3,8 +3,11 @@
 In the paper this is an FPGA board hanging off a commodity switch; ACL
 rules steer multicast traffic through it.  Here it is an object attached
 to a simulated :class:`~repro.net.switch.Switch` whose
-:meth:`classify` implements the ACL and whose :meth:`process`
-implements the Fig. 7a pipeline:
+:meth:`classify` implements the ACL and whose :meth:`process` runs the
+Fig. 7a sequence as an explicit
+:class:`~repro.net.pipeline.Pipeline` of named stages
+(admit → [lookaside detour →] MRP → MFT lookup → reduce → track source
+→ replicate → bridge → feedback):
 
 * **MRP packets** build the local MFT and fan sub-MRPs out downstream
   (reuse-a-tree-port first, then least-loaded port selection, §III-C);
@@ -33,6 +36,7 @@ from repro.core.mft import Mft, MftTable, PathEntry
 from repro.core.mrp import MrpError, MrpPayload
 from repro.errors import RegistrationError
 from repro.net.packet import Packet, PacketType, is_multicast_ip
+from repro.net.pipeline import DEFER, STOP, Pipeline, PipelineContext
 from repro.net.switch import Switch
 
 __all__ = ["AcceleratorConfig", "CepheusAccelerator"]
@@ -73,7 +77,14 @@ class CepheusAccelerator:
             raise RegistrationError(
                 f"unknown deployment {self.cfg.deployment!r}")
         self.table = MftTable(switch.n_ports, self.cfg.max_groups)
-        self.feedback = FeedbackEngine(self.cfg.feedback)
+        # The switch's simulator bus is the single observation point for
+        # this accelerator's stages and its feedback engine.  The
+        # "replicate" channel fires after the replication/filter decision
+        # for every multicast DATA packet (the InvariantMonitor's view of
+        # ingress pruning and retransmission filtering); "bridge" after
+        # each connection-bridging rewrite.
+        self.bus = switch.sim.bus
+        self.feedback = FeedbackEngine(self.cfg.feedback, bus=self.bus)
         # group-level load per port, for the least-loaded MDT port choice
         self.port_group_load: Dict[int, int] = {}
         # look-aside detour: the FPGA's aggregate transceiver capacity
@@ -82,11 +93,6 @@ class CepheusAccelerator:
                                * self.cfg.lookaside_port_bw)
         self._lookaside_free_at = 0.0
         self.lookaside_detours = 0
-        # Optional tap: observer.on_replicate(accel, mft, pkt, in_port,
-        # targets) fires after the replication/filter decision for every
-        # multicast DATA packet (the InvariantMonitor's view of ingress
-        # pruning and retransmission filtering).
-        self.observer = None
         # instrumentation
         self.data_in = 0
         self.replicas_out = 0
@@ -99,7 +105,28 @@ class CepheusAccelerator:
         # than a full re-registration (§III-C incremental MRP).
         self.mrp_records_installed = 0
         self.mrp_records_removed = 0
+        self.pipeline = self._build_pipeline()
         switch.accelerator = self
+
+    def _build_pipeline(self) -> Pipeline:
+        """The Fig. 7a stage chain.  The §IV deployment options differ
+        only in chain configuration: the look-aside FPGA prototype adds
+        a detour stage after admission; the proposed inline ASIC does
+        not."""
+        stages = [self.stage_admit]
+        if self.cfg.deployment == "lookaside":
+            stages.append(self.stage_lookaside_detour)
+        stages += [
+            self.stage_mrp,
+            self.stage_mft_lookup,
+            self.stage_reduce,
+            self.stage_track_source,
+            self.stage_replicate,
+            self.stage_bridge,
+            self.stage_feedback,
+        ]
+        return Pipeline(stages,
+                        name=f"{self.switch.name}.accel[{self.cfg.deployment}]")
 
     # ------------------------------------------------------------------
     # ACL classification (what gets redirected to the FPGA)
@@ -113,21 +140,32 @@ class CepheusAccelerator:
         )
 
     # ------------------------------------------------------------------
-    # main pipeline
+    # main pipeline: stage dispatch
     # ------------------------------------------------------------------
 
     def process(self, pkt: Packet, in_port: int) -> None:
-        if self.cfg.deployment == "lookaside":
-            self.lookaside_detours += 1
-            self.switch.sim.schedule(
-                self._detour_delay(pkt), self._pipeline, pkt, in_port)
-        else:
-            self._pipeline(pkt, in_port)
+        """Run one classified packet through the stage chain."""
+        self.pipeline.run(PipelineContext(pkt, in_port, self.switch, self))
+
+    def stage_admit(self, ctx: PipelineContext):
+        """Fixed per-packet processing latency of the board (§IV); both
+        deployments pay it before any table state is read."""
+        delay = self.switch.config.accelerator_delay
+        if delay > 0:
+            self.switch.sim.schedule(delay, self.pipeline.resume, ctx)
+            return DEFER
+        return None
+
+    def stage_lookaside_detour(self, ctx: PipelineContext):
+        """Switch -> FPGA -> switch detour of the look-aside prototype
+        (§IV): admission gated by the board's aggregate transceiver
+        capacity, plus one link serialization and two propagations."""
+        self.lookaside_detours += 1
+        self.switch.sim.schedule(
+            self._detour_delay(ctx.pkt), self.pipeline.resume, ctx)
+        return DEFER
 
     def _detour_delay(self, pkt: Packet) -> float:
-        """Switch -> FPGA -> switch detour cost of the look-aside
-        prototype: admission gated by the board's aggregate transceiver
-        capacity, plus one link serialization and two propagations."""
         sim = self.switch.sim
         bits = pkt.wire_size * 8.0
         start = max(sim.now, self._lookaside_free_at)
@@ -137,18 +175,17 @@ class CepheusAccelerator:
                  + 2 * constants.LINK_PROPAGATION_S)
         return ready - sim.now
 
-    def _pipeline(self, pkt: Packet, in_port: int) -> None:
-        t = pkt.ptype
-        if t == PacketType.MRP:
-            self._process_mrp(pkt, in_port)
-        elif t == PacketType.DATA:
-            self._process_data(pkt, in_port)
-        else:
-            self._process_feedback(pkt, in_port)
-
     # ------------------------------------------------------------------
     # MRP: local MFT construction + downstream fan-out (§III-C)
     # ------------------------------------------------------------------
+
+    def stage_mrp(self, ctx: PipelineContext):
+        """Control-plane stage: MRP joins/leaves patch the local MFT and
+        fan sub-MRPs downstream; data-plane packets pass through."""
+        if ctx.pkt.ptype != PacketType.MRP:
+            return None
+        self._process_mrp(ctx.pkt, ctx.in_port)
+        return STOP
 
     def _process_mrp(self, pkt: Packet, in_port: int) -> None:
         payload: MrpPayload = pkt.mrp
@@ -308,20 +345,56 @@ class CepheusAccelerator:
         self.switch.emit(pkt, self.switch.route_lookup(pkt), -1)
 
     # ------------------------------------------------------------------
-    # DATA: replication + connection bridging (§III-B)
+    # DATA: MFT lookup, replication + connection bridging (§III-B)
     # ------------------------------------------------------------------
 
-    def _process_data(self, pkt: Packet, in_port: int) -> None:
-        mft = self.table.get(pkt.dst_ip)
+    def stage_mft_lookup(self, ctx: PipelineContext):
+        """Fig. 7a MFT lookup: resolve the group table entry every
+        later stage keys off; unregistered groups are dropped here."""
+        mft = self.table.get(ctx.pkt.dst_ip)
         if mft is None:
             self.unregistered_drops += 1
-            return
-        self.data_in += 1
-        if mft.mode == "reduce":
-            self._process_reduce_data(mft, pkt, in_port)
-            return
-        self._track_source(mft, pkt, in_port)
+            bus = self.bus
+            if bus.drop:
+                bus.publish("drop", self.switch, ctx.pkt, ctx.in_port,
+                            "unregistered-group")
+            return STOP
+        ctx.mft = mft
+        if ctx.pkt.ptype == PacketType.DATA:
+            self.data_in += 1
+        return None
 
+    def stage_reduce(self, ctx: PipelineContext):
+        """Experimental many-to-one groups (§VIII) run the dual
+        datapath: contributions combine upward, feedback fans out."""
+        if ctx.mft.mode != "reduce":
+            return None
+        if ctx.pkt.ptype == PacketType.DATA:
+            self._process_reduce_data(ctx.mft, ctx.pkt, ctx.in_port)
+        else:
+            self._replicate_feedback_down(ctx.mft, ctx.pkt, ctx.in_port)
+        return STOP
+
+    def stage_track_source(self, ctx: PipelineContext):
+        """Multicast source switching (§III-E): data entering from a new
+        tree port re-points AckOutPort and resets the trigger port."""
+        if ctx.pkt.ptype == PacketType.DATA:
+            self._track_source(ctx.mft, ctx.pkt, ctx.in_port)
+        return None
+
+    def stage_replicate(self, ctx: PipelineContext):
+        """Replication with ingress pruning and retransmission
+        filtering (§III-B, §III-D): decide the target set, then
+        materialize one replica per target — clones for every branch
+        but the last, which reuses the ingress packet.  Cloning happens
+        *before* the bridge stage rewrites any header, so a replica
+        queued for a sibling subtree can never observe another leaf's
+        rewrite."""
+        pkt = ctx.pkt
+        if pkt.ptype != PacketType.DATA:
+            return None
+        mft = ctx.mft
+        in_port = ctx.in_port
         targets: List[PathEntry] = []
         for e in mft.iter_downstream(in_port):
             if self.cfg.retransmit_filter and pkt.psn <= e.ack_psn:
@@ -330,15 +403,31 @@ class CepheusAccelerator:
                 self.retransmits_filtered += 1
                 continue
             targets.append(e)
-        if self.observer is not None:
-            self.observer.on_replicate(self, mft, pkt, in_port, targets)
+        ctx.targets = targets
+        bus = self.bus
+        if bus.replicate:
+            bus.publish("replicate", self, mft, pkt, in_port, targets)
         last = len(targets) - 1
-        for i, e in enumerate(targets):
-            replica = pkt if i == last else pkt.clone()
-            if e.is_host:
-                self._bridge(replica, e, mft.mcst_id)
-            self.switch.emit(replica, e.port, in_port)
+        ctx.replicas = [(e, pkt if i == last else pkt.clone())
+                        for i, e in enumerate(targets)]
+        return None
+
+    def stage_bridge(self, ctx: PipelineContext):
+        """Connection bridging (Fig. 4) at host-facing entries, then
+        egress: every replica leaves the switch here."""
+        if ctx.pkt.ptype != PacketType.DATA:
+            return None
+        mft = ctx.mft
+        in_port = ctx.in_port
+        bus = self.bus
+        for entry, replica in ctx.replicas:
+            if entry.is_host:
+                self._bridge(replica, entry, mft.mcst_id)
+                if bus.bridge:
+                    bus.publish("bridge", self, mft, replica, entry)
+            self.switch.emit(replica, entry.port, in_port)
             self.replicas_out += 1
+        return STOP
 
     def _track_source(self, mft: Mft, pkt: Packet, in_port: int) -> None:
         if mft.ack_out_port != in_port:
@@ -425,14 +514,13 @@ class CepheusAccelerator:
     # feedback: aggregate/filter, then forward toward the source (§III-D)
     # ------------------------------------------------------------------
 
-    def _process_feedback(self, pkt: Packet, in_port: int) -> None:
-        mft = self.table.get(pkt.dst_ip)
-        if mft is None:
-            self.unregistered_drops += 1
-            return
-        if mft.mode == "reduce":
-            self._replicate_feedback_down(mft, pkt, in_port)
-            return
+    def stage_feedback(self, ctx: PipelineContext):
+        """Terminal stage for ACK/NACK/CNP: the FeedbackEngine turns
+        the many per-path streams into the single unicast-like stream
+        the source RNIC expects, published on the same bus."""
+        pkt = ctx.pkt
+        mft = ctx.mft
+        in_port = ctx.in_port
         t = pkt.ptype
         if t == PacketType.ACK:
             emits = self.feedback.on_ack(mft, in_port, pkt.psn)
@@ -441,6 +529,7 @@ class CepheusAccelerator:
         else:
             emits = self.feedback.on_cnp(mft, in_port, self.switch.sim.now)
         self._emit_feedback(mft, emits, in_port)
+        return STOP
 
     def _emit_feedback(self, mft: Mft, emits, in_port: int) -> None:
         """Send aggregated feedback toward the current source (also the

@@ -32,6 +32,7 @@ from typing import List, Optional, Tuple
 from repro import constants
 from repro.core.mft import Mft
 from repro.net.packet import PacketType
+from repro.net.pipeline import ObserverBus
 
 __all__ = ["FeedbackConfig", "FeedbackEngine", "Emit"]
 
@@ -52,7 +53,8 @@ class FeedbackConfig:
 class FeedbackEngine:
     """Stateless executor of the feedback rules against per-group MFTs."""
 
-    def __init__(self, config: Optional[FeedbackConfig] = None) -> None:
+    def __init__(self, config: Optional[FeedbackConfig] = None,
+                 bus: Optional[ObserverBus] = None) -> None:
         self.cfg = config or FeedbackConfig()
         # global counters for the ablation/scalability benches
         self.acks_in = 0
@@ -61,11 +63,12 @@ class FeedbackEngine:
         self.nacks_out = 0
         self.cnps_in = 0
         self.cnps_out = 0
-        # Optional tap: called as observer.on_feedback(engine, mft, kind,
-        # in_port, value, emits) after every feedback event is processed.
-        # The InvariantMonitor uses it to verify the min-AckPSN, MePSN and
-        # CNP-filter rules on every emission.
-        self.observer = None
+        # The "feedback" channel fires as (engine, mft, kind, in_port,
+        # value, emits) after every feedback event is processed; the
+        # InvariantMonitor subscribes to verify the min-AckPSN, MePSN and
+        # CNP-filter rules on every emission.  An accelerator passes its
+        # simulator's bus; a standalone engine gets a private one.
+        self.bus = bus if bus is not None else ObserverBus()
 
     # ------------------------------------------------------------------
     # ACK / NACK
@@ -75,9 +78,9 @@ class FeedbackEngine:
         """An ACK (original or already-aggregated) arrived on ``in_port``."""
         self.acks_in += 1
         emits = self._record_and_trigger(mft, in_port, psn)
-        if self.observer is not None:
-            self.observer.on_feedback(self, mft, PacketType.ACK,
-                                      in_port, psn, emits)
+        if self.bus.feedback:
+            self.bus.publish("feedback", self, mft, PacketType.ACK,
+                             in_port, psn, emits)
         return emits
 
     def on_nack(self, mft: Mft, in_port: int, epsn: int) -> List[Emit]:
@@ -93,9 +96,9 @@ class FeedbackEngine:
             if mft.me_psn is None or epsn < mft.me_psn:
                 mft.me_psn = epsn
             emits = self._record_and_trigger(mft, in_port, epsn - 1)
-        if self.observer is not None:
-            self.observer.on_feedback(self, mft, PacketType.NACK,
-                                      in_port, epsn, emits)
+        if self.bus.feedback:
+            self.bus.publish("feedback", self, mft, PacketType.NACK,
+                             in_port, epsn, emits)
         return emits
 
     def _record_and_trigger(self, mft: Mft, in_port: int, cum_ack: int) -> List[Emit]:
@@ -122,11 +125,11 @@ class FeedbackEngine:
         in-port is involved.
         """
         emits = self._evaluate(mft)
-        if self.observer is not None:
+        if self.bus.feedback:
             # in_port -1 / value -1: a membership-driven re-evaluation,
             # not an arriving feedback packet.
-            self.observer.on_feedback(self, mft, PacketType.ACK,
-                                      -1, -1, emits)
+            self.bus.publish("feedback", self, mft, PacketType.ACK,
+                             -1, -1, emits)
         return emits
 
     def _evaluate(self, mft: Mft) -> List[Emit]:
@@ -178,9 +181,9 @@ class FeedbackEngine:
         congested downstream links inside the current aging window."""
         self.cnps_in += 1
         emits = self._cnp_emits(mft, in_port, now)
-        if self.observer is not None:
-            self.observer.on_feedback(self, mft, PacketType.CNP,
-                                      in_port, 0, emits)
+        if self.bus.feedback:
+            self.bus.publish("feedback", self, mft, PacketType.CNP,
+                             in_port, 0, emits)
         return emits
 
     def _cnp_emits(self, mft: Mft, in_port: int, now: float) -> List[Emit]:

@@ -253,11 +253,12 @@ class MembershipManager:
         return self._launch(op, record, on_done)
 
     def _notify_epoch(self, qp) -> None:
-        """Tell the invariant monitor the QP changed membership epoch
-        (its PSN stream position is re-based, not corrupted)."""
-        obs = getattr(qp, "observer", None)
-        if obs is not None and hasattr(obs, "on_membership_epoch"):
-            obs.on_membership_epoch(qp, self.group.epoch)
+        """Publish that the QP changed membership epoch (its PSN stream
+        position is re-based, not corrupted); the invariant monitor
+        subscribes to re-baseline its per-QP PSN tracking."""
+        bus = qp.bus
+        if bus.membership_epoch:
+            bus.publish("membership_epoch", qp, self.group.epoch)
 
     # -- synchronous wrappers (setup/test convenience) --------------------------
 

@@ -125,17 +125,25 @@ def load_tolerances(path: str) -> Dict[str, Any]:
     return tol
 
 
-def tolerance_for(name: str, tolerances: Optional[Dict[str, Any]]) -> float:
+def _pattern_tolerance(name: str,
+                       tolerances: Optional[Dict[str, Any]]) -> Optional[float]:
+    """The most-specific (longest) matching ``metrics`` pattern, if any."""
     if not tolerances:
-        return DEFAULT_REL_TOL
+        return None
     best: Optional[float] = None
     best_len = -1
     for pattern, rel in tolerances.get("metrics", {}).items():
-        # Most-specific (longest) matching pattern wins.
         if fnmatch.fnmatchcase(name, pattern) and len(pattern) > best_len:
             best, best_len = float(rel), len(pattern)
+    return best
+
+
+def tolerance_for(name: str, tolerances: Optional[Dict[str, Any]]) -> float:
+    best = _pattern_tolerance(name, tolerances)
     if best is not None:
         return best
+    if not tolerances:
+        return DEFAULT_REL_TOL
     return float(tolerances.get("default_rel_tol", DEFAULT_REL_TOL))
 
 
@@ -213,14 +221,26 @@ class Comparison:
 
 
 def compare(current: Dict[str, Any], baseline: Dict[str, Any],
-            tolerances: Optional[Dict[str, Any]] = None) -> Comparison:
+            tolerances: Optional[Dict[str, Any]] = None, *,
+            check_events: bool = False,
+            max_wall_drift: Optional[float] = None) -> Comparison:
     """Diff ``current`` against ``baseline`` metric-by-metric.
 
     Every baseline metric must exist in ``current`` and sit within its
     relative tolerance; experiments/metrics only present in ``current``
     are reported but never fail (the trajectory is allowed to grow).
-    Wall times, event counts and cache flags are provenance, not
-    compared.
+    Wall times, event counts and cache flags are provenance and not
+    compared by default; two opt-in gates tighten that:
+
+    * ``check_events`` — per-experiment simulator event counts must
+      match the baseline exactly (the simulations are deterministic; a
+      drifting event count means the datapath's scheduling behaviour
+      changed).  A ``"<exp_id>.events"`` tolerance pattern can relax
+      individual experiments.
+    * ``max_wall_drift`` — ``total_wall_s`` may exceed the baseline by
+      at most this fraction (one-sided: getting faster never fails).
+      Catches accidental hot-path regressions, e.g. an observer bus
+      publication that stopped being branch-guarded.
     """
     comp = Comparison()
     cur_exps = current.get("experiments", {})
@@ -242,5 +262,32 @@ def compare(current: Dict[str, Any], baseline: Dict[str, Any],
                 delta.status = "missing"
             elif delta.rel_delta > delta.rel_tol:
                 delta.status = "regressed"
+            comp.deltas.append(delta)
+        if check_events:
+            name = f"{exp_id}.events"
+            base = base_exps[exp_id].get("events")
+            cur = cur_exps[exp_id].get("events")
+            if base is not None:
+                rel_tol = _pattern_tolerance(name, tolerances) or 0.0
+                delta = MetricDelta(name=name, baseline=float(base),
+                                    current=None if cur is None
+                                    else float(cur), rel_tol=rel_tol)
+                if cur is None:
+                    delta.status = "missing"
+                elif delta.rel_delta > delta.rel_tol:
+                    delta.status = "regressed"
+                comp.deltas.append(delta)
+    if max_wall_drift is not None:
+        base_wall = baseline.get("total_wall_s")
+        cur_wall = current.get("total_wall_s")
+        if base_wall:
+            delta = MetricDelta(name="total_wall_s", baseline=float(base_wall),
+                                current=None if cur_wall is None
+                                else float(cur_wall),
+                                rel_tol=float(max_wall_drift))
+            if cur_wall is None:
+                delta.status = "missing"
+            elif float(cur_wall) > float(base_wall) * (1.0 + max_wall_drift):
+                delta.status = "regressed"  # one-sided: faster is fine
             comp.deltas.append(delta)
     return comp

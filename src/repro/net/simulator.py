@@ -16,6 +16,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.net.pipeline import ObserverBus
+
 __all__ = ["Simulator", "Event"]
 
 
@@ -67,10 +69,12 @@ class Simulator:
         self._heap: List[Tuple[float, int, Event]] = []
         self._seq: int = 0
         self._events_run: int = 0
-        # Optional per-event tap, called as tracer(now) before each event
-        # executes.  The InvariantMonitor uses it to run sampled online
-        # consistency sweeps; None keeps the hot loop branch-cheap.
-        self.tracer: Optional[Callable[[float], None]] = None
+        # The single observer bus every datapath component of this
+        # simulation publishes to (see repro.net.pipeline).  The run
+        # loop's "event" channel fires before each event executes; the
+        # InvariantMonitor subscribes to it for sampled online sweeps.
+        # An empty channel keeps the hot loop branch-cheap.
+        self.bus = ObserverBus()
 
     # -- scheduling --------------------------------------------------------
 
@@ -111,6 +115,7 @@ class Simulator:
             The number of events executed by this call.
         """
         heap = self._heap
+        bus = self.bus
         executed = 0
         try:
             while heap:
@@ -124,8 +129,8 @@ class Simulator:
                     raise RuntimeError(f"exceeded max_events={max_events}")
                 heapq.heappop(heap)
                 self.now = when
-                if self.tracer is not None:
-                    self.tracer(when)
+                if bus.event:
+                    bus.publish("event", when)
                 ev.fn(*ev.args)
                 executed += 1
             if until is not None and self.now < until:

@@ -7,6 +7,13 @@ receive path consults through an ACL-style classifier, mirroring the
 paper's deployment ("legacy Ethernet switches ... configured with ACL
 rules to direct multicast traffic towards the FPGA board").
 
+The receive path is an explicit :class:`~repro.net.pipeline.Pipeline`
+of stages (PFC → loss → ACL classify → unicast forward); the ACL stage
+hands classified packets to the accelerator's own stage chain, which is
+the paper's Fig. 7a sequence.  Cross-cutting consumers observe both
+chains through the simulator's single
+:class:`~repro.net.pipeline.ObserverBus`.
+
 Random packet discard for the loss-tolerance experiments (§V-C) is a
 per-switch knob, applied on ingress as in the paper ("emulated via
 randomly discarding packets in the middle switches").
@@ -23,6 +30,7 @@ from repro import constants
 from repro.errors import RoutingError
 from repro.net.packet import Packet, PacketType
 from repro.net.pfc import PfcManager
+from repro.net.pipeline import STOP, Pipeline, PipelineContext
 from repro.net.port import Port
 from repro.net.simulator import Simulator
 
@@ -90,6 +98,12 @@ class Switch:
         self.random_drops = 0
         self.taildrops = 0
         self.forwarded = 0
+        self.bus = sim.bus
+        self.pipeline = Pipeline(
+            [self.stage_pfc, self.stage_loss, self.stage_acl_classify,
+             self.stage_unicast_forward],
+            name=f"{name}.rx",
+        )
 
     # -- FIB management -------------------------------------------------------
 
@@ -116,25 +130,45 @@ class Switch:
             raise RoutingError(f"{self.name}: no route for dst {dst_ip}")
         return list(group)
 
-    # -- receive path ---------------------------------------------------------
+    # -- receive path: the ingress stage chain --------------------------------
 
     def receive(self, pkt: Packet, in_port: int) -> None:
-        ptype = pkt.ptype
-        if ptype in (PacketType.PAUSE, PacketType.RESUME):
-            self.pfc.handle_frame(pkt, in_port)
-            return
-        if self._should_randomly_drop(pkt):
+        self.pipeline.run(PipelineContext(pkt, in_port, self))
+
+    def stage_pfc(self, ctx: PipelineContext):
+        """Link-local PAUSE/RESUME frames never travel further."""
+        if ctx.pkt.ptype in (PacketType.PAUSE, PacketType.RESUME):
+            self.pfc.handle_frame(ctx.pkt, ctx.in_port)
+            return STOP
+        return None
+
+    def stage_loss(self, ctx: PipelineContext):
+        """Random ingress discard for the §V-C loss experiments."""
+        if self._should_randomly_drop(ctx.pkt):
             self.random_drops += 1
-            return
-        if self.accelerator is not None and self.accelerator.classify(pkt):
-            # ACL redirect: the accelerator owns this packet from here.
-            delay = self.config.accelerator_delay
-            if delay > 0:
-                self.sim.schedule(delay, self.accelerator.process, pkt, in_port)
-            else:
-                self.accelerator.process(pkt, in_port)
-            return
-        self.emit(pkt, self.route_lookup(pkt), in_port)
+            bus = self.bus
+            if bus.drop:
+                bus.publish("drop", self, ctx.pkt, ctx.in_port, "random-loss")
+            return STOP
+        return None
+
+    def stage_acl_classify(self, ctx: PipelineContext):
+        """ACL redirect: the accelerator owns classified packets from
+        here (its own stage chain models the admission delay and, for
+        look-aside deployments, the FPGA detour)."""
+        accel = self.accelerator
+        if accel is not None and accel.classify(ctx.pkt):
+            bus = self.bus
+            if bus.classify:
+                bus.publish("classify", self, ctx.pkt, ctx.in_port)
+            accel.process(ctx.pkt, ctx.in_port)
+            return STOP
+        return None
+
+    def stage_unicast_forward(self, ctx: PipelineContext):
+        """Default path: flow-hash ECMP forwarding via the FIB."""
+        self.emit(ctx.pkt, self.route_lookup(ctx.pkt), ctx.in_port)
+        return STOP
 
     def _should_randomly_drop(self, pkt: Packet) -> bool:
         rate = self.config.loss_rate
@@ -154,6 +188,9 @@ class Switch:
         ``in_port`` of -1 marks locally generated packets (aggregated
         ACKs, MRP fan-out) which do not contribute to PFC occupancy.
         """
+        bus = self.bus
+        if bus.emit:
+            bus.publish("emit", self, pkt, out_port, in_port)
         ok = self.ports[out_port].enqueue(pkt, in_port)
         if ok:
             self.forwarded += 1
@@ -161,8 +198,11 @@ class Switch:
         return ok
 
     def on_drop(self, pkt: Packet, port_index: int, reason: str) -> None:
-        """Callback from ports for tail-drops (kept for trace hooks)."""
+        """Callback from ports for tail-drops."""
         self.taildrops += 1
+        bus = self.bus
+        if bus.drop:
+            bus.publish("drop", self, pkt, port_index, reason)
 
     # -- helpers ------------------------------------------------------------------
 

@@ -4,18 +4,27 @@ The harness mostly reports completion times; for debugging and for the
 finer-grained studies (per-packet one-way delay under load, bottleneck
 queue dynamics) this module provides:
 
-* :class:`LatencyStats` — streaming percentile accumulator;
-* :class:`DeliveryTap` — wraps a QP's ingress to record per-packet
-  one-way delay (packets carry their creation timestamp);
+* :class:`LatencyStats` — streaming percentile accumulator over a
+  seeded reservoir sample;
+* :class:`DeliveryTap` — subscribes to the bus ``deliver`` channel to
+  record per-packet one-way delay at one QP (packets carry their
+  creation timestamp);
 * :class:`QueueDepthProbe` — periodic sampler of a port's backlog with
   a bounded lifetime (so a drained simulation still terminates);
-* :class:`PacketLog` — optional per-device forwarding log with a ring
-  bound, for post-mortem debugging of multicast trees.
+* :class:`PacketLog` — per-device forwarding log with a ring bound,
+  fed by the bus ``emit`` channel, for post-mortem debugging of
+  multicast trees.
+
+The taps subscribe to the simulation-wide
+:class:`~repro.net.pipeline.ObserverBus` rather than wrapping component
+methods, so several taps (and the invariant monitor) coexist without
+ordering hazards.
 """
 
 from __future__ import annotations
 
 import math
+import random
 from collections import deque
 from typing import Deque, List, Optional, Tuple
 
@@ -42,18 +51,25 @@ def _percentile_of(ordered: List[float], p: float) -> float:
 
 
 class LatencyStats:
-    """Accumulates samples; exact percentiles over the retained window.
+    """Accumulates samples; exact percentiles over a retained reservoir.
 
-    Keeps at most ``max_samples`` (reservoir-free head retention is fine
-    for the deterministic simulations this instruments).
+    Retention uses seeded reservoir sampling (Vitter's Algorithm R):
+    once more than ``max_samples`` values arrive, every value has an
+    equal ``max_samples / count`` chance of being in the window.  The
+    previous head-retention scheme kept only the *first* values, which
+    biases percentiles toward the warm-up phase of a run (queues are
+    empty, delays are short).  The reservoir is driven by a private
+    seeded RNG so results stay deterministic for a given sim seed and
+    never perturb the simulation's own random streams.
     """
 
-    def __init__(self, max_samples: int = 1_000_000) -> None:
+    def __init__(self, max_samples: int = 1_000_000, seed: int = 0) -> None:
         self._samples: List[float] = []
         self.max_samples = max_samples
         self.count = 0
         self.total = 0.0
         self.max_value = 0.0
+        self._rng = random.Random(seed)
 
     def record(self, value: float) -> None:
         self.count += 1
@@ -62,6 +78,10 @@ class LatencyStats:
             self.max_value = value
         if len(self._samples) < self.max_samples:
             self._samples.append(value)
+        else:
+            j = self._rng.randrange(self.count)
+            if j < self.max_samples:
+                self._samples[j] = value
 
     @property
     def mean(self) -> float:
@@ -85,21 +105,24 @@ class LatencyStats:
 
 
 class DeliveryTap:
-    """Records one-way delay of every DATA packet a QP receives."""
+    """Records one-way delay of DATA packets delivered in-order at a QP.
+
+    Subscribes to the bus ``deliver`` channel and filters for its QP;
+    duplicates a go-back-N overshoot re-sends are not re-delivered and
+    therefore not re-counted.
+    """
 
     def __init__(self, qp) -> None:
         self.qp = qp
-        self.stats = LatencyStats()
-        self._orig = qp.handle_packet
-        qp.handle_packet = self._tap
+        self.stats = LatencyStats(seed=qp.qpn)
+        qp.bus.subscribe("deliver", self._on_deliver)
 
-    def _tap(self, pkt: Packet) -> None:
-        if pkt.ptype == PacketType.DATA:
+    def _on_deliver(self, qp, pkt: Packet) -> None:
+        if qp is self.qp and pkt.ptype == PacketType.DATA:
             self.stats.record(self.qp.sim.now - pkt.created_at)
-        self._orig(pkt)
 
     def detach(self) -> None:
-        self.qp.handle_packet = self._orig
+        self.qp.bus.unsubscribe("deliver", self._on_deliver)
 
 
 class QueueDepthProbe:
@@ -138,22 +161,26 @@ class QueueDepthProbe:
 
 
 class PacketLog:
-    """Bounded log of packets a device forwarded (attach to a switch)."""
+    """Bounded log of packets a switch queued for egress.
+
+    Subscribes to the bus ``emit`` channel (published before the
+    enqueue, so tail-dropped packets are logged too) and filters for
+    its switch.
+    """
 
     def __init__(self, switch, max_entries: int = 10_000) -> None:
         self.switch = switch
         self.entries: Deque[Tuple[float, str, int, int, int]] = deque(
             maxlen=max_entries)
-        self._orig = switch.emit
-        switch.emit = self._tap
+        switch.bus.subscribe("emit", self._on_emit)
 
-    def _tap(self, pkt: Packet, out_port: int, in_port: int = -1) -> bool:
-        self.entries.append(
-            (self.switch.sim.now, pkt.ptype.name, pkt.psn, in_port, out_port))
-        return self._orig(pkt, out_port, in_port)
+    def _on_emit(self, switch, pkt: Packet, out_port: int, in_port: int) -> None:
+        if switch is self.switch:
+            self.entries.append(
+                (switch.sim.now, pkt.ptype.name, pkt.psn, in_port, out_port))
 
     def detach(self) -> None:
-        self.switch.emit = self._orig
+        self.switch.bus.unsubscribe("emit", self._on_emit)
 
     def of_type(self, type_name: str) -> List[Tuple[float, str, int, int, int]]:
         return [e for e in self.entries if e[1] == type_name]

@@ -65,11 +65,6 @@ class RoceConfig:
 class RoceQP:
     """One RC queue pair: send engine + receive/responder engine."""
 
-    #: Default observer inherited by every new QP (see ``self.observer``).
-    #: The InvariantMonitor's cluster attachment points this at itself so
-    #: QPs created later (collectives create them lazily) are monitored.
-    default_observer = None
-
     def __init__(
         self,
         sim: Simulator,
@@ -111,10 +106,11 @@ class RoceQP:
         self._retx_queue: Deque[int] = deque()
         self._retx_last: Dict[int, float] = {}
         self.on_message: Optional[Callable[[int, int, float, Any], None]] = None
-        # Optional protocol tap: observer.on_qp_send(qp, pkt) on every
-        # DATA transmission, observer.on_qp_deliver(qp, pkt) on every
-        # in-order delivery.  Used by repro.check.InvariantMonitor.
-        self.observer = RoceQP.default_observer
+        # The simulation-wide observer bus: "qp_send" fires on every DATA
+        # transmission, "deliver" on every in-order delivery.  QPs created
+        # after a monitor subscribes are covered automatically because the
+        # bus lives on the simulator, not on the QP.
+        self.bus = sim.bus
 
         # --- instrumentation ---------------------------------------------
         self.tx_data_packets = 0
@@ -221,8 +217,8 @@ class RoceQP:
                 self._pump()
                 return
             pkt = self._packet_for(psn)
-            if self.observer is not None:
-                self.observer.on_qp_send(self, pkt)
+            if self.bus.qp_send:
+                self.bus.publish("qp_send", self, pkt)
             self.nic.send(pkt)
             self.tx_data_packets += 1
             self.retransmitted_packets += 1
@@ -234,8 +230,8 @@ class RoceQP:
             return
         psn = self.snd_nxt
         pkt = self._packet_for(psn)
-        if self.observer is not None:
-            self.observer.on_qp_send(self, pkt)
+        if self.bus.qp_send:
+            self.bus.publish("qp_send", self, pkt)
         self.nic.send(pkt)
         self.tx_data_packets += 1
         if pkt.retransmit:
@@ -366,8 +362,8 @@ class RoceQP:
                 self._send_nack()
 
     def _deliver(self, pkt: Packet) -> None:
-        if self.observer is not None:
-            self.observer.on_qp_deliver(self, pkt)
+        if self.bus.deliver:
+            self.bus.publish("deliver", self, pkt)
         rs = self.recv
         if pkt.first:
             rs.cur_msg_id = pkt.msg_id

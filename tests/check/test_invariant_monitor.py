@@ -38,16 +38,24 @@ def test_clean_broadcast_produces_no_violations(testbed):
         monitor.detach()
 
 
-def test_detach_restores_class_observer(testbed):
-    from repro.transport.roce import RoceQP
-
+def test_detach_removes_every_bus_subscription(testbed):
+    bus = testbed.sim.bus
+    before = bus.subscriber_count()
     monitor = InvariantMonitor()
     monitor.attach_cluster(testbed)
-    assert RoceQP.default_observer is monitor
-    assert testbed.sim.tracer is not None
+    assert bus.is_subscribed("qp_send", monitor.on_qp_send)
+    assert bus.is_subscribed("deliver", monitor.on_qp_deliver)
+    assert bus.is_subscribed("feedback", monitor.on_feedback)
+    assert bus.is_subscribed("replicate", monitor.on_replicate)
+    assert bus.is_subscribed("membership_epoch", monitor.on_membership_epoch)
+    assert bus.is_subscribed("event", monitor.on_event)
+    # attach is idempotent: a second walk over overlapping components
+    # (fabric + per-QP + cluster-wide) must not duplicate subscriptions
+    n = bus.subscriber_count()
+    monitor.attach_cluster(testbed)
+    assert bus.subscriber_count() == n
     monitor.detach()
-    assert RoceQP.default_observer is None
-    assert testbed.sim.tracer is None
+    assert bus.subscriber_count() == before
 
 
 def test_summary_shape(testbed):

@@ -118,6 +118,7 @@ class TestBridging:
         pkt = Packet(PacketType.DATA, 1, constants.MCSTID_BASE + 999,
                      payload=64)
         accel.process(pkt, 0)
+        testbed.run()  # the admit stage models the accelerator delay
         assert accel.unregistered_drops == 1
 
 

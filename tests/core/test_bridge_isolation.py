@@ -1,0 +1,101 @@
+"""Clone-before-rewrite audit for the replicate -> bridge stage split.
+
+Connection bridging (Fig. 4) rewrites a replica's headers in place at a
+host-facing (leaf) entry.  Replication materializes one packet object
+per MDT branch *before* any rewrite, so a replica still queued for a
+sibling branch — in particular the unbridged copy climbing toward
+another rack — must never observe a leaf's rewrite.  A regression here
+is vicious: the sibling replica would leave the switch already carrying
+some other receiver's dstIP/dstQP (or a double-shifted WRITE vaddr) and
+either get misrouted or corrupt the far receiver's MR placement.
+
+These tests audit the property two ways: object identity on the bus
+(`bridge` events must never rewrite an object another branch emits) and
+wire-level header checks at a switch that serves a host leaf and an
+uplink branch from the same replication decision.
+"""
+
+from repro import constants
+from repro.apps import Cluster
+from repro.net.packet import PacketType
+
+
+def _group(cluster, members, leader, mr_info=None):
+    qps = {ip: cluster.ctx(ip).create_qp() for ip in members}
+    group = cluster.fabric.create_group(qps, leader_ip=leader,
+                                        mr_info=mr_info)
+    cluster.fabric.register_sync(group)
+    return group, qps
+
+
+def test_leaf_rewrite_never_touches_sibling_branch_replica():
+    """Members 1 (sender), 2 (same edge) and 3 (other rack): edge0_0
+    replicates each DATA packet to a host leaf AND an uplink in one
+    stage pass.  The uplink copy must still carry the multicast
+    addressing after the leaf copy was bridged."""
+    cl = Cluster.fat_tree_cluster(4)
+    group, qps = _group(cl, members=[1, 2, 3], leader=1)
+    edge = next(s for s in cl.topo.switches if s.name == "edge0_0")
+    uplink_data = []
+    bridged_ids = set()
+
+    def on_bridge(accel, mft, replica, entry):
+        bridged_ids.add(id(replica))
+
+    def on_emit(switch, pkt, out_port, in_port):
+        if (switch is edge and pkt.ptype == PacketType.DATA
+                and not switch.is_host_port(out_port)):
+            uplink_data.append(pkt)
+            # identity audit: the packet leaving toward the sibling
+            # subtree is never an object the bridge stage rewrote
+            assert id(pkt) not in bridged_ids
+            # header audit: still multicast-addressed, vaddr untouched
+            assert pkt.dst_ip == group.mcst_id
+            assert pkt.src_ip == 1
+
+    cl.sim.bus.subscribe("bridge", on_bridge)
+    cl.sim.bus.subscribe("emit", on_emit)
+    qps[1].post_send(8 * constants.MTU_BYTES)
+    cl.run()
+    assert len(uplink_data) >= 8  # every PSN climbed toward member 3
+    assert bridged_ids            # ... and leaf bridging did happen
+    assert qps[2].recv.bytes_delivered == 8 * constants.MTU_BYTES
+    assert qps[3].recv.bytes_delivered == 8 * constants.MTU_BYTES
+
+
+def test_write_vaddr_not_double_shifted_across_branches():
+    """Multicast WRITE with different MR bases per receiver: if a leaf
+    rewrite leaked into the sibling branch, the far receiver's vaddr
+    would be shifted by *both* bases and its MR validation would miss."""
+    cl = Cluster.fat_tree_cluster(4)
+    members = [1, 2, 3]
+    mrs = {ip: cl.ctx(ip).reg_mr(1 << 20) for ip in (2, 3)}
+    group, qps = _group(
+        cl, members=members, leader=1,
+        mr_info={ip: (mr.addr, mr.rkey) for ip, mr in mrs.items()})
+    qps[1].post_write(8 * constants.MTU_BYTES, vaddr=0, rkey=0)
+    cl.run()
+    for ip in (2, 3):
+        table = cl.ctx(ip).mr_table  # validated once per message
+        assert table.write_hits == 1, f"member {ip} missed its MR window"
+        assert table.write_misses == 0
+
+
+def test_last_replica_reuses_ingress_packet_only_when_terminal():
+    """The replication stage's allocation economy (the original packet
+    is reused for the final branch) must never alias two branches: in a
+    single-switch group every emitted replica is a distinct object."""
+    cl = Cluster.testbed(4)
+    group, qps = _group(cl, members=cl.host_ips, leader=1)
+    sw = cl.topo.switches[0]
+    per_psn = {}
+
+    def on_emit(switch, pkt, out_port, in_port):
+        if switch is sw and pkt.ptype == PacketType.DATA:
+            per_psn.setdefault(pkt.psn, []).append(id(pkt))
+
+    cl.sim.bus.subscribe("emit", on_emit)
+    qps[1].post_send(4 * constants.MTU_BYTES)
+    cl.run()
+    for psn, ids in per_psn.items():
+        assert len(ids) == len(set(ids)), f"psn {psn}: aliased replicas"

@@ -113,6 +113,44 @@ class TestCompare:
         assert not bench.compare(_doc({"fig8": {"mean_residual": 0.5}}),
                                  base).ok
 
+    def test_events_not_compared_by_default(self):
+        base = _doc({"fig8": {"mean_speedup": 2.5}})
+        cur = _doc({"fig8": {"mean_speedup": 2.5}})
+        cur["experiments"]["fig8"]["events"] = 99999
+        assert bench.compare(cur, base).ok
+
+    def test_check_events_requires_exact_match(self):
+        base = _doc({"fig8": {"mean_speedup": 2.5}})
+        same = _doc({"fig8": {"mean_speedup": 2.5}})
+        assert bench.compare(same, base, check_events=True).ok
+        drift = _doc({"fig8": {"mean_speedup": 2.5}})
+        drift["experiments"]["fig8"]["events"] = 11  # baseline is 10
+        comp = bench.compare(drift, base, check_events=True)
+        assert not comp.ok
+        (delta,) = comp.regressions
+        assert delta.name == "fig8.events"
+
+    def test_check_events_honors_tolerance_pattern(self):
+        base = _doc({"fig8": {"mean_speedup": 2.5}})
+        drift = _doc({"fig8": {"mean_speedup": 2.5}})
+        drift["experiments"]["fig8"]["events"] = 11
+        tol = {"metrics": {"fig8.events": 0.2}}
+        assert bench.compare(drift, base, tol, check_events=True).ok
+
+    def test_wall_drift_is_one_sided(self):
+        base = _doc({"fig8": {"mean_speedup": 2.5}})  # total_wall_s 1.0
+        slower = _doc({"fig8": {"mean_speedup": 2.5}})
+        slower["total_wall_s"] = 1.2
+        faster = _doc({"fig8": {"mean_speedup": 2.5}})
+        faster["total_wall_s"] = 0.3  # 70% faster: never a failure
+        assert bench.compare(slower, base).ok  # off by default
+        comp = bench.compare(slower, base, max_wall_drift=0.10)
+        assert not comp.ok
+        (delta,) = comp.regressions
+        assert delta.name == "total_wall_s"
+        assert bench.compare(slower, base, max_wall_drift=0.25).ok
+        assert bench.compare(faster, base, max_wall_drift=0.10).ok
+
     def test_schema_guard(self, tmp_path):
         path = tmp_path / "x.json"
         path.write_text(json.dumps({"schema": "other"}))

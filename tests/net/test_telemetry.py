@@ -40,6 +40,40 @@ class TestLatencyStats:
         assert s.count == 100
         assert len(s._samples) == 10
 
+    def test_reservoir_is_unbiased_across_the_stream(self):
+        """The retained window must sample the whole stream, not its
+        head: feed 10k values where the second half is 100x larger and
+        require the median to reflect both halves.  Pure head retention
+        (the old behaviour) would report a p50 from the small first
+        half only."""
+        s = LatencyStats(max_samples=100, seed=7)
+        for v in range(5_000):
+            s.record(1.0)
+        for v in range(5_000):
+            s.record(100.0)
+        tail_fraction = sum(1 for v in s._samples if v == 100.0) / 100
+        assert 0.3 < tail_fraction < 0.7  # ~0.5 for an unbiased reservoir
+        assert s.percentile(99) == 100.0
+
+    def test_reservoir_is_deterministic_for_a_seed(self):
+        def fill(seed):
+            s = LatencyStats(max_samples=50, seed=seed)
+            for v in range(2_000):
+                s.record(float(v))
+            return list(s._samples)
+
+        assert fill(3) == fill(3)
+        assert fill(3) != fill(4)
+
+    def test_reservoir_exact_below_capacity(self):
+        """Under capacity the reservoir is the full sample set: exact
+        percentiles, no sampling error."""
+        s = LatencyStats(max_samples=1_000, seed=9)
+        for v in range(1, 101):
+            s.record(float(v))
+        assert sorted(s._samples) == [float(v) for v in range(1, 101)]
+        assert s.percentile(50) == pytest.approx(50.5)
+
     def test_summary_keys(self):
         s = LatencyStats()
         s.record(5.0)

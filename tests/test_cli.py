@@ -30,6 +30,22 @@ class TestParser:
         assert main(["experiments", "--only", "fig7b", "--jobs", "2"]) == 0
         assert "MFT memory" in capsys.readouterr().out
 
+    def test_bench_compare_gate_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["bench", "compare", "a.json", "b.json",
+                                  "--check-events",
+                                  "--max-wall-drift", "0.10"])
+        assert args.check_events is True
+        assert args.max_wall_drift == pytest.approx(0.10)
+        defaults = parser.parse_args(["bench", "compare", "a.json", "b.json"])
+        assert defaults.check_events is False
+        assert defaults.max_wall_drift == -1.0  # sentinel: gate off
+
+    def test_pipeline_subcommand_registered(self):
+        args = build_parser().parse_args(
+            ["pipeline", "dump", "--deployment", "lookaside"])
+        assert callable(args.fn) and args.deployment == "lookaside"
+
 
 class TestCommands:
     def test_info_prints_constants(self, capsys):
@@ -58,3 +74,24 @@ class TestCommands:
     def test_experiments_unknown_id(self, capsys):
         assert main(["experiments", "--only", "fig99"]) == 2
         assert "unknown experiments" in capsys.readouterr().err
+
+    def test_pipeline_dump_inline(self, capsys):
+        assert main(["pipeline", "dump"]) == 0
+        out = capsys.readouterr().out
+        assert "rx: pfc -> loss -> acl_classify -> unicast_forward" in out
+        assert ("accel[inline]: admit -> mrp -> mft_lookup -> reduce -> "
+                "track_source -> replicate -> bridge -> feedback") in out
+        assert "lookaside_detour" not in out
+
+    def test_pipeline_dump_lookaside_has_detour_stage(self, capsys):
+        assert main(["pipeline", "dump", "--deployment", "lookaside"]) == 0
+        out = capsys.readouterr().out
+        assert "admit -> lookaside_detour -> mrp" in out
+
+    def test_pipeline_dump_switch_filter(self, capsys):
+        assert main(["pipeline", "dump", "--topo", "fat_tree",
+                     "--switch", "core0"]) == 0
+        out = capsys.readouterr().out
+        assert "core0" in out and "edge0_0" not in out
+        assert main(["pipeline", "dump", "--switch", "nope"]) == 2
+        assert "no switch 'nope'" in capsys.readouterr().err
