@@ -355,6 +355,25 @@ class InvariantMonitor:
                            f"group {mft.mcst_id:#x}: psn {pkt.psn} "
                            f"re-forwarded to port {e.port} which already "
                            f"acknowledged {e.ack_psn}")
+        hdr = pkt.sr
+        if hdr is not None and hdr.epoch == mft.epoch:
+            # Source-routed mode: once the soft MFT has converged to the
+            # packet's epoch, the replication set must agree with the
+            # packet's effective sp-rule (header rule, or the residual
+            # table for spilled rules).  Host-facing entries are exempt:
+            # their lifecycle belongs to the MRP delta flow, which may
+            # lag the re-encoded header by design.
+            bitmap = hdr.rules.get(accel.switch.name)
+            if bitmap is None:
+                bitmap = accel.sr_rules.get(hdr.fallback_key)
+            if bitmap is not None:
+                for e in targets:
+                    if not e.is_host and not (bitmap >> e.port) & 1:
+                        self._flag(
+                            "sr-rule-divergence", where,
+                            f"group {mft.mcst_id:#x}: psn {pkt.psn} "
+                            f"replicated to port {e.port} which the "
+                            f"epoch-{hdr.epoch} sp-rule does not cover")
 
     # ------------------------------------------------------------------
     # structural sweeps: MFT <-> topology consistency

@@ -272,8 +272,12 @@ def _cmd_bench_compare(args) -> int:
 
 def _cmd_pipeline_dump(args) -> int:
     from repro.apps import Cluster
-    from repro.core.accelerator import AcceleratorConfig
+    from repro.core.accelerator import DEPLOYMENTS, AcceleratorConfig
 
+    if args.deployment not in DEPLOYMENTS:
+        print(f"pipeline: unknown deployment {args.deployment!r}; "
+              f"valid modes: {', '.join(DEPLOYMENTS)}", file=sys.stderr)
+        return 2
     accel_config = AcceleratorConfig(deployment=args.deployment)
     if args.topo == "star":
         cluster = Cluster.testbed(args.hosts, accel_config=accel_config)
@@ -470,7 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_dump = pipe_sub.add_parser(
         "dump", help="print each switch's rx chain and accelerator "
-                     "stage chain (inline vs lookaside)")
+                     "stage chain (inline/lookaside/source_routed)")
     p_dump.add_argument("--topo", default="star",
                         choices=("star", "fat_tree"))
     p_dump.add_argument("--hosts", type=int, default=4,
@@ -478,7 +482,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_dump.add_argument("--k", type=int, default=4,
                         help="fat-tree arity (fat_tree topo only)")
     p_dump.add_argument("--deployment", default="inline",
-                        choices=("inline", "lookaside"))
+                        help="accelerator deployment mode "
+                             "(inline, lookaside, source_routed)")
     p_dump.add_argument("--switch", default="",
                         help="only this switch (default: all)")
     p_dump.set_defaults(fn=_cmd_pipeline_dump)

@@ -40,6 +40,19 @@ CNP_BYTES: int = 74
 MRP_MTU_BYTES: int = 1500
 """The MRP control protocol is constrained to the standard Ethernet MTU."""
 
+SR_BASE_BYTES: int = 8
+"""Fixed part of the source-routing header extension: epoch(2) +
+fallback rule key(4) + rule count(2).  The McstID rides in dstIP."""
+
+SR_RULE_BUDGET_BYTES: int = 64
+"""Per-packet budget for sp-rules carried in the header extension
+(Elmo bounds the header; trees that overflow spill to residual state)."""
+
+SR_RESIDUAL_RULE_CAP: int = 32
+"""Residual-table entries per switch in the scaling model: overflow
+groups beyond this degrade to the per-switch default rule (Elmo) or
+union-merge into an existing shared rule (Bert)."""
+
 MRP_NODES_PER_PACKET: int = 183
 """Max receiver records per MRP packet (paper, Fig. 5: 1500-byte MTU)."""
 

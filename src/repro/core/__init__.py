@@ -6,7 +6,8 @@ by accelerators attached to the simulated switches of a
 :class:`~repro.core.fabric.CepheusFabric`.
 """
 
-from repro.core.accelerator import AcceleratorConfig, CepheusAccelerator
+from repro.core.accelerator import (AcceleratorConfig, CepheusAccelerator,
+                                    DEPLOYMENTS)
 from repro.core.fabric import CepheusFabric
 from repro.core.fallback import SafeguardMonitor
 from repro.core.feedback import FeedbackConfig, FeedbackEngine
@@ -15,10 +16,14 @@ from repro.core.membership import MembershipDelta, MembershipManager
 from repro.core.mft import Mft, MftTable, PathEntry
 from repro.core.mrp import (HostControlAgent, MrpController, MrpError,
                             MrpPayload, chunk_records)
+from repro.core.source_routing import (BertAggregator, ScalingModel,
+                                       SourceRoutingConfig,
+                                       SourceRoutingManager, SrHeader,
+                                       compute_tree, split_rules)
 from repro.core.source_switch import SourceSwitchCoordinator, psn_consistent
 
 __all__ = [
-    "AcceleratorConfig", "CepheusAccelerator",
+    "AcceleratorConfig", "CepheusAccelerator", "DEPLOYMENTS",
     "CepheusFabric",
     "SafeguardMonitor",
     "FeedbackConfig", "FeedbackEngine",
@@ -27,5 +32,7 @@ __all__ = [
     "Mft", "MftTable", "PathEntry",
     "HostControlAgent", "MrpController", "MrpError", "MrpPayload",
     "chunk_records",
+    "BertAggregator", "ScalingModel", "SourceRoutingConfig",
+    "SourceRoutingManager", "SrHeader", "compute_tree", "split_rules",
     "SourceSwitchCoordinator", "psn_consistent",
 ]

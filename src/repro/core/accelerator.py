@@ -34,12 +34,17 @@ from repro import constants
 from repro.core.feedback import FeedbackConfig, FeedbackEngine
 from repro.core.mft import Mft, MftTable, PathEntry
 from repro.core.mrp import MrpError, MrpPayload
+from repro.core.source_routing import SourceRoutingConfig
 from repro.errors import RegistrationError
 from repro.net.packet import Packet, PacketType, is_multicast_ip
 from repro.net.pipeline import DEFER, STOP, Pipeline, PipelineContext
 from repro.net.switch import Switch
 
-__all__ = ["AcceleratorConfig", "CepheusAccelerator"]
+__all__ = ["AcceleratorConfig", "CepheusAccelerator", "DEPLOYMENTS"]
+
+#: The valid deployment styles (§IV integration options + the
+#: source-routed mode): chain configuration is the only difference.
+DEPLOYMENTS = ("inline", "lookaside", "source_routed")
 
 
 @dataclass
@@ -57,6 +62,12 @@ class AcceleratorConfig:
       links, so multicast throughput is bounded by the board's
       transceiver capacity (the §VI scalability limit) and each packet
       pays two extra link traversals.
+    * ``"source_routed"`` — the Elmo/Bert mode: the sender carries the
+      tree in a bounded header extension, switches pop their sp-rule
+      in an ``sp_forward`` stage and keep only *soft* per-group
+      feedback state (plus a small residual table for rules that
+      overflowed the header budget).  ``source_routing`` tunes the
+      encoder; None means defaults.
     """
 
     retransmit_filter: bool = True
@@ -65,6 +76,7 @@ class AcceleratorConfig:
     deployment: str = "inline"
     lookaside_ports: int = 4
     lookaside_port_bw: float = constants.LINK_BANDWIDTH_BPS
+    source_routing: Optional[SourceRoutingConfig] = None
 
 
 class CepheusAccelerator:
@@ -73,9 +85,10 @@ class CepheusAccelerator:
     def __init__(self, switch: Switch, config: Optional[AcceleratorConfig] = None) -> None:
         self.switch = switch
         self.cfg = config or AcceleratorConfig()
-        if self.cfg.deployment not in ("inline", "lookaside"):
+        if self.cfg.deployment not in DEPLOYMENTS:
             raise RegistrationError(
-                f"unknown deployment {self.cfg.deployment!r}")
+                f"unknown deployment {self.cfg.deployment!r}; "
+                f"valid: {', '.join(DEPLOYMENTS)}")
         self.table = MftTable(switch.n_ports, self.cfg.max_groups)
         # The switch's simulator bus is the single observation point for
         # this accelerator's stages and its feedback engine.  The
@@ -93,6 +106,13 @@ class CepheusAccelerator:
                                * self.cfg.lookaside_port_bw)
         self._lookaside_free_at = 0.0
         self.lookaside_detours = 0
+        # source-routed residual rules: fallback key -> port bitmap,
+        # installed by the SourceRoutingManager for groups whose tree
+        # overflowed the per-packet rule budget.
+        self.sr_rules: Dict[int, int] = {}
+        self.sr_header_hits = 0
+        self.sr_residual_hits = 0
+        self.sr_prunes = 0
         # instrumentation
         self.data_in = 0
         self.replicas_out = 0
@@ -116,8 +136,10 @@ class CepheusAccelerator:
         stages = [self.stage_admit]
         if self.cfg.deployment == "lookaside":
             stages.append(self.stage_lookaside_detour)
+        stages += [self.stage_mrp]
+        if self.cfg.deployment == "source_routed":
+            stages.append(self.stage_sp_forward)
         stages += [
-            self.stage_mrp,
             self.stage_mft_lookup,
             self.stage_reduce,
             self.stage_track_source,
@@ -189,6 +211,9 @@ class CepheusAccelerator:
 
     def _process_mrp(self, pkt: Packet, in_port: int) -> None:
         payload: MrpPayload = pkt.mrp
+        if self.cfg.deployment == "source_routed":
+            self._process_mrp_sr(payload, pkt, in_port)
+            return
         if payload.op in ("leave", "prune"):
             self._process_mrp_remove(payload, pkt, in_port)
             return
@@ -345,13 +370,200 @@ class CepheusAccelerator:
         self.switch.emit(pkt, self.switch.route_lookup(pkt), -1)
 
     # ------------------------------------------------------------------
+    # source-routed mode: sp_forward + stateless MRP (Elmo/Bert)
+    # ------------------------------------------------------------------
+
+    def stage_sp_forward(self, ctx: PipelineContext):
+        """Source-routed forwarding: pop this switch's sp-rule from the
+        header (or the residual table, for rules that overflowed the
+        budget) and sync the *soft* per-group feedback MFT to it.
+
+        Replication itself stays in the replicate/bridge stages, driven
+        by the synced MFT — so ingress pruning, retransmission
+        filtering and min-AckPSN aggregation run off the same entries
+        as the MFT deployments, with the switch holding no
+        control-plane-installed forwarding state."""
+        pkt = ctx.pkt
+        hdr = pkt.sr
+        if pkt.ptype != PacketType.DATA or hdr is None:
+            return None
+        bitmap = hdr.rules.get(self.switch.name)
+        if bitmap is not None:
+            self.sr_header_hits += 1
+        else:
+            bitmap = self.sr_rules.get(hdr.fallback_key)
+            if bitmap is None:
+                bus = self.bus
+                if bus.drop:
+                    bus.publish("drop", self.switch, pkt, ctx.in_port,
+                                "sr-no-rule")
+                return STOP
+            self.sr_residual_hits += 1
+        try:
+            mft = self.table.get_or_create(pkt.dst_ip)
+        except RegistrationError:
+            bus = self.bus
+            if bus.drop:
+                bus.publish("drop", self.switch, pkt, ctx.in_port,
+                            "sr-table-full")
+            return STOP
+        self._sr_sync(mft, bitmap, hdr.epoch, ctx.in_port)
+        ctx.mft = mft
+        return None
+
+    def _sr_sync(self, mft: Mft, bitmap: int, epoch: int,
+                 in_port: int) -> None:
+        """Converge the soft MFT onto the header's rule.
+
+        Epoch-gated: a header from a *newer* epoch prunes non-host
+        entries that left the tree (host entries belong exclusively to
+        the MRP delta flow — the leaf must keep them until the LEAVE
+        confirm, or the controller transaction would never complete); a
+        *stale* header adds nothing and prunes nothing, the packet just
+        forwards along the current entries.  Missing bitmap ports
+        materialize as soft entries at the group's current aggregate —
+        the same rule a mid-flight JOIN uses, for the same reason: a
+        fresh subtree must not be held responsible for PSNs it never
+        saw."""
+        if epoch > mft.epoch:
+            stale = [
+                e.port for e in mft.path_table
+                if not e.is_host and e.port != in_port
+                and e.port != mft.ack_out_port
+                and not (bitmap >> e.port) & 1
+            ]
+            for port in stale:
+                mft.remove_entry(port)
+                self.sr_prunes += 1
+            mft.epoch = epoch
+            if stale:
+                emits = self.feedback.reevaluate(mft)
+                self._emit_feedback(mft, emits, -1)
+        elif epoch < mft.epoch:
+            return
+        is_host_port = self.switch.is_host_port
+        for port in range(mft.n_ports):
+            if not (bitmap >> port) & 1 or mft.has_port(port):
+                continue
+            if is_host_port(port):
+                # Host entries carry bridging info only MRP knows; the
+                # data path cannot invent one (an unbridged replica
+                # would be dropped by the NIC and the bare entry would
+                # gate the aggregate forever).  The member's MRP JOIN
+                # installs it; until then that subtree is dark and the
+                # sender's retransmission covers the gap.
+                continue
+            mft.add_entry(PathEntry(port=port, is_host=False,
+                                    ack_psn=mft.agg_ack_psn))
+
+    def _process_mrp_sr(self, payload: MrpPayload, pkt: Packet,
+                        in_port: int) -> None:
+        """MRP in the source-routed mode: transit switches install
+        *nothing* — the tree lives in the packet header.  Only a
+        member's leaf holds state: the host-facing Path Table entry
+        whose bridging info the sp_forward data path cannot invent.
+        Everything else routes toward the member's address, so
+        registration traverses zero per-group switch state."""
+        if payload.op in ("leave", "prune"):
+            self._process_mrp_sr_remove(payload, pkt, in_port)
+            return
+        downstream: Dict[int, List] = {}
+        for node in payload.nodes:
+            direct = self._direct_host_port(node.ip)
+            if direct is not None:
+                try:
+                    mft = self.table.get_or_create(payload.mcst_id)
+                except RegistrationError as exc:
+                    self._notify_registration_error(payload, str(exc))
+                    return
+                mft.epoch = max(mft.epoch, payload.epoch)
+                mft.add_entry(PathEntry(
+                    port=direct, is_host=True, dst_ip=node.ip,
+                    dst_qp=node.qpn, vaddr=node.vaddr, rkey=node.rkey,
+                    ack_psn=mft.agg_ack_psn,
+                ))
+                mft.port_members.setdefault(direct, set()).add(node.ip)
+                self.mrp_records_installed += 1
+                port = direct
+            else:
+                cands = [p for p in self.switch.route_ports(node.ip)
+                         if p != in_port]
+                if not cands:
+                    continue  # behind the ingress; upstream handles it
+                port = min(cands)
+            downstream.setdefault(port, []).append(node)
+        for port, nodes in downstream.items():
+            if port == in_port:
+                continue
+            sub = MrpPayload(
+                mcst_id=payload.mcst_id, seq=payload.seq, total=payload.total,
+                controller_ip=payload.controller_ip, nodes=nodes,
+                op=payload.op, epoch=payload.epoch,
+            )
+            out = Packet(
+                PacketType.MRP, pkt.src_ip, payload.mcst_id,
+                payload=sub.wire_bytes(), mrp=sub,
+                created_at=self.switch.sim.now,
+            )
+            self.switch.emit(out, port, in_port)
+
+    def _process_mrp_sr_remove(self, payload: MrpPayload, pkt: Packet,
+                               in_port: int) -> None:
+        """LEAVE/PRUNE with no transit state: route each delta record
+        toward the member's leaf by address; the leaf patches its host
+        entry out and confirms on the member's behalf (the member may
+        be dead — that is what PRUNE is for).  Transit soft entries of
+        the departed subtree retire when the next data packet carries
+        the re-encoded header's higher epoch."""
+        for node in payload.nodes:
+            direct = self._direct_host_port(node.ip)
+            if direct is None:
+                cands = [p for p in self.switch.route_ports(node.ip)
+                         if p != in_port]
+                if not cands:
+                    continue
+                sub = MrpPayload(
+                    mcst_id=payload.mcst_id, seq=payload.seq,
+                    total=payload.total,
+                    controller_ip=payload.controller_ip, nodes=[node],
+                    op=payload.op, epoch=payload.epoch,
+                )
+                out = Packet(
+                    PacketType.MRP, pkt.src_ip, payload.mcst_id,
+                    payload=sub.wire_bytes(), mrp=sub,
+                    created_at=self.switch.sim.now,
+                )
+                self.switch.emit(out, min(cands), in_port)
+                continue
+            mft = self.table.get(payload.mcst_id)
+            if mft is not None:
+                mft.epoch = max(mft.epoch, payload.epoch)
+                members = mft.port_members.get(direct)
+                if members is not None:
+                    members.discard(node.ip)
+                    if not members:
+                        self._drop_path(mft, direct)
+                self.mrp_records_removed += 1
+            confirm = Packet(
+                PacketType.MRP_CONFIRM, node.ip, payload.controller_ip,
+                payload=16, meta=(payload.mcst_id, node.ip),
+                created_at=self.switch.sim.now,
+            )
+            self.switch.emit(confirm, self.switch.route_lookup(confirm),
+                             in_port)
+
+    # ------------------------------------------------------------------
     # DATA: MFT lookup, replication + connection bridging (§III-B)
     # ------------------------------------------------------------------
 
     def stage_mft_lookup(self, ctx: PipelineContext):
         """Fig. 7a MFT lookup: resolve the group table entry every
-        later stage keys off; unregistered groups are dropped here."""
-        mft = self.table.get(ctx.pkt.dst_ip)
+        later stage keys off; unregistered groups are dropped here.
+        In the source-routed mode ``sp_forward`` may already have
+        resolved (and header-synced) the soft MFT."""
+        mft = ctx.mft
+        if mft is None:
+            mft = self.table.get(ctx.pkt.dst_ip)
         if mft is None:
             self.unregistered_drops += 1
             bus = self.bus

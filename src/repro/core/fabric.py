@@ -19,6 +19,7 @@ from repro.core.accelerator import AcceleratorConfig, CepheusAccelerator
 from repro.core.group import McstIdAllocator, MemberRecord, MulticastGroup
 from repro.core.membership import MembershipManager
 from repro.core.mrp import HostControlAgent, MrpController
+from repro.core.source_routing import SourceRoutingManager
 from repro.errors import GroupError, RegistrationError
 from repro.net.switch import Switch
 from repro.net.topology import Topology
@@ -49,6 +50,12 @@ class CepheusFabric:
         self.alloc = McstIdAllocator()
         self.groups: Dict[int, MulticastGroup] = {}
         self._memberships: Dict[int, MembershipManager] = {}
+        # Source-routed deployment: the sender-side tree compiler +
+        # residual-rule control plane (None in the MFT deployments).
+        self.source_routing: Optional[SourceRoutingManager] = None
+        if self.accel_config.deployment == "source_routed":
+            self.source_routing = SourceRoutingManager(
+                self, self.accel_config.source_routing)
 
     # -- group lifecycle ------------------------------------------------------
 
@@ -74,6 +81,10 @@ class CepheusFabric:
         allow_partial: bool = False,
     ) -> MrpController:
         """Start asynchronous MRP registration for ``group``."""
+        if self.source_routing is not None:
+            # Compile + activate the header before any MRP travels: the
+            # first DATA packet must already carry its tree.
+            self.source_routing.attach(group)
         leader_nic = self.topo.nic(group.leader_ip)
         ctl = MrpController(
             self.sim, group, leader_nic,
@@ -153,6 +164,8 @@ class CepheusFabric:
                 if n > 0:
                     accel.port_group_load[port] = n - 1
             accel.table.remove(group.mcst_id)
+        if self.source_routing is not None:
+            self.source_routing.detach(group)
         mgr = self._memberships.pop(group.mcst_id, None)
         if mgr is not None:
             mgr.stop_failure_detector()

@@ -218,6 +218,7 @@ class MembershipManager:
              ) -> MembershipDelta:
         """Admit ``ip`` and patch the MDT with a JOIN delta."""
         self.group.add_member(ip, qp, mr)
+        self._refresh_sr_header()
         # Stream-position sync (§III-E): the joiner expects the *next*
         # PSN the source will emit, skipping anything already posted.
         src_qp = self.group.members[self.group.current_source]
@@ -247,10 +248,20 @@ class MembershipManager:
         qp = self.group.qp_of(ip)
         qpn = qp.qpn
         self.group.remove_member(ip)   # raises for leader/source/size-2
+        self._refresh_sr_header()
         self._notify_epoch(qp)
         self._fd_marks.pop(ip, None)
         record = MemberRecord(ip=ip, qpn=qpn)
         return self._launch(op, record, on_done)
+
+    def _refresh_sr_header(self) -> None:
+        """Source-routed deployment: a membership change re-encodes the
+        group's header at the new epoch.  Senders stamp the new header
+        from the next packet on; switches retire the old tree's soft
+        state when the higher epoch flows past them."""
+        sr = getattr(self.fabric, "source_routing", None)
+        if sr is not None:
+            sr.refresh(self.group)
 
     def _notify_epoch(self, qp) -> None:
         """Publish that the QP changed membership epoch (its PSN stream

@@ -33,9 +33,12 @@ __all__ = ["PathEntry", "Mft", "MftTable"]
 NO_ACK = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class PathEntry:
-    """One outgoing path of the MDT (Fig. 3, Path Table row)."""
+    """One outgoing path of the MDT (Fig. 3, Path Table row).
+
+    Slotted: switches materialize one per tree port per group, and the
+    scaling experiments create them by the hundred thousand."""
 
     port: int
     is_host: bool

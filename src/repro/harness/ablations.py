@@ -192,6 +192,10 @@ def ablation_deployment(quick: bool = True) -> ExperimentResult:
     two link traversals.  Throughput: bounded by the board's aggregate
     transceiver capacity (the §VI scalability limit) — visible once the
     offered multicast load exceeds it.
+
+    The ``source_routed`` row carries the distribution tree in packet
+    headers (Elmo-style) instead of control-installed MFTs; its datapath
+    matches inline JCTs while trading header bytes for switch state.
     """
     from repro.core.accelerator import AcceleratorConfig
 
@@ -203,7 +207,7 @@ def ablation_deployment(quick: bool = True) -> ExperimentResult:
                     "FPGA detour costs a fixed latency and is capacity-"
                     "bounded by the board's transceivers",
     )
-    for deployment in ("inline", "lookaside"):
+    for deployment in ("inline", "lookaside", "source_routed"):
         cfg = AcceleratorConfig(deployment=deployment)
         cl = Cluster.testbed(4, accel_config=cfg)
         algo = CepheusBcast(cl, cl.host_ips)

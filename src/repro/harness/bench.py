@@ -4,15 +4,17 @@ A ``BENCH_*.json`` document is the consolidated trajectory record of
 one harness run::
 
     {
-      "schema": "cepheus-bench/v1",
+      "schema": "cepheus-bench/v2",
       "mode": "quick",
       "jobs": 4,
       "code_fingerprint": "sha256...",
       "total_wall_s": 37.2,
+      "events_per_sec": 812345.6,  # aggregate over uncached entries
       "experiments": {
         "fig8": {
           "wall_s": 0.01,          # volatile, never compared
           "events": 123456,        # simulator events executed
+          "events_per_sec": 654321.0,  # null when cached
           "cached": false,
           "rows": 4,
           "metrics": {"mean_speedup_vs_bt": 2.71, ...},
@@ -37,12 +39,17 @@ from typing import Any, Dict, List, Optional
 
 from repro.harness.report import ExperimentResult
 
-__all__ = ["SCHEMA", "headline_metrics", "make_entry", "make_document",
+__all__ = ["SCHEMA", "COMPAT_SCHEMAS", "headline_metrics", "make_entry",
+           "make_document",
            "load_document", "MetricDelta", "Comparison", "compare",
            "load_tolerances", "tolerance_for", "DEFAULT_REL_TOL",
            "DEFAULT_ABS_TOL"]
 
-SCHEMA = "cepheus-bench/v1"
+SCHEMA = "cepheus-bench/v2"
+
+#: Documents this reader still accepts (v1 lacks the events/sec
+#: throughput fields; compare simply has nothing to note for them).
+COMPAT_SCHEMAS = ("cepheus-bench/v1", SCHEMA)
 
 #: Fallback tolerances when a metric has no override: 8 % relative
 #: drift, with a small absolute floor for metrics whose baseline is 0.
@@ -75,10 +82,19 @@ def headline_metrics(result: ExperimentResult) -> Dict[str, float]:
 
 def make_entry(result: ExperimentResult, *, wall_s: float,
                events: int) -> Dict[str, Any]:
-    """One ``experiments`` entry: canonical payload + provenance."""
+    """One ``experiments`` entry: canonical payload + provenance.
+
+    ``events_per_sec`` is the headline simulator-throughput figure
+    (ROADMAP item 1's perf trajectory); it is None for cached entries —
+    a cache hit's wall time measures the cache, not the simulator.
+    """
+    eps: Optional[float] = None
+    if not result.cached and wall_s > 0 and events:
+        eps = round(events / wall_s, 1)
     return {
         "wall_s": round(wall_s, 6),
         "events": events,
+        "events_per_sec": eps,
         "cached": result.cached,
         "rows": len(result.rows),
         "metrics": headline_metrics(result),
@@ -89,12 +105,19 @@ def make_entry(result: ExperimentResult, *, wall_s: float,
 def make_document(entries: Dict[str, Dict[str, Any]], *, mode: str,
                   jobs: int, fingerprint: str,
                   total_wall_s: float) -> Dict[str, Any]:
+    # Aggregate throughput over the *uncached* entries only (same
+    # reasoning as per-entry events_per_sec).
+    live = [(e.get("events", 0), e.get("wall_s", 0.0))
+            for e in entries.values() if not e.get("cached")]
+    events = sum(ev for ev, _ in live)
+    wall = math.fsum(w for _, w in live)
     return {
         "schema": SCHEMA,
         "mode": mode,
         "jobs": jobs,
         "code_fingerprint": fingerprint,
         "total_wall_s": round(total_wall_s, 3),
+        "events_per_sec": round(events / wall, 1) if wall > 0 and events else None,
         "experiments": entries,
     }
 
@@ -102,7 +125,7 @@ def make_document(entries: Dict[str, Dict[str, Any]], *, mode: str,
 def load_document(path: str) -> Dict[str, Any]:
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
-    if doc.get("schema") != SCHEMA:
+    if doc.get("schema") not in COMPAT_SCHEMAS:
         raise ValueError(
             f"{path}: not a {SCHEMA} document "
             f"(schema={doc.get('schema')!r})")
@@ -181,6 +204,9 @@ class Comparison:
     deltas: List[MetricDelta] = field(default_factory=list)
     missing_experiments: List[str] = field(default_factory=list)
     added_experiments: List[str] = field(default_factory=list)
+    #: Informational throughput lines (events/sec drift); never failing —
+    #: wall-clock rate is machine-dependent provenance, not a gated metric.
+    throughput_notes: List[str] = field(default_factory=list)
 
     @property
     def regressions(self) -> List[MetricDelta]:
@@ -212,6 +238,7 @@ class Comparison:
             lines.append(f"FAIL {exp}: experiment missing from current run")
         for exp in self.added_experiments:
             lines.append(f"note {exp}: new experiment (no baseline)")
+        lines.extend(self.throughput_notes)
         n_ok = len(self.deltas) - len([d for d in self.deltas
                                        if d.status != "ok"])
         lines.append(f"compared {len(self.deltas)} metric(s): "
@@ -277,6 +304,17 @@ def compare(current: Dict[str, Any], baseline: Dict[str, Any],
                 elif delta.rel_delta > delta.rel_tol:
                     delta.status = "regressed"
                 comp.deltas.append(delta)
+    base_eps = baseline.get("events_per_sec")
+    cur_eps = current.get("events_per_sec")
+    if base_eps and cur_eps:
+        drift = cur_eps / base_eps - 1.0
+        comp.throughput_notes.append(
+            f"note events_per_sec: baseline {base_eps:.6g} -> current "
+            f"{cur_eps:.6g} ({drift:+.1%}, informational)")
+    elif cur_eps:
+        comp.throughput_notes.append(
+            f"note events_per_sec: current {cur_eps:.6g} "
+            f"(no baseline, informational)")
     if max_wall_drift is not None:
         base_wall = baseline.get("total_wall_s")
         cur_wall = current.get("total_wall_s")

@@ -38,6 +38,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {
     "fig13": experiments.fig13_loss,
     "fig14": experiments.fig14_fairness,
     "churn": experiments.churn_membership,
+    "srmc_scaling": experiments.srmc_scaling,
     "abl-ack": ablations.ablation_ack_trigger,
     "abl-nack": ablations.ablation_nack_rule,
     "abl-cnp": ablations.ablation_cnp_filter,

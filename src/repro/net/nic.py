@@ -53,6 +53,11 @@ class Nic:
         self._next_qpn = 0x100
         # Out-of-band traffic (MRP/CTRL) is handed to whoever registered.
         self.control_handler: Optional[Callable[[Packet], None]] = None
+        # Source-routed multicast: dst McstID -> zero-arg callable
+        # returning the group's *current* SrHeader.  Stamping happens at
+        # send time so retransmissions carry the current epoch's header
+        # (the RNIC replays WQEs; the header is an egress rewrite).
+        self.sr_encoders: Dict[int, Callable[[], object]] = {}
         self.rx_packets = 0
         self.rx_unmatched = 0
 
@@ -78,6 +83,10 @@ class Nic:
 
     def send(self, pkt: Packet) -> bool:
         """Queue a packet on the NIC egress (honours PFC pause)."""
+        if self.sr_encoders and pkt.ptype == PacketType.DATA:
+            enc = self.sr_encoders.get(pkt.dst_ip)
+            if enc is not None:
+                pkt.sr = enc()
         return self.ports[0].enqueue(pkt, -1)
 
     @property

@@ -62,7 +62,7 @@ class Packet:
         "pid", "ptype", "src_ip", "dst_ip", "src_qp", "dst_qp",
         "psn", "payload", "op", "msg_id", "first", "last",
         "vaddr", "rkey", "ecn", "created_at", "retransmit",
-        "mrp", "meta", "hops",
+        "mrp", "meta", "hops", "sr",
     )
 
     def __init__(
@@ -85,6 +85,7 @@ class Packet:
         retransmit: bool = False,
         mrp: Optional[Any] = None,
         meta: Optional[Any] = None,
+        sr: Optional[Any] = None,
     ) -> None:
         self.pid = next(_packet_ids)
         self.ptype = ptype
@@ -105,6 +106,7 @@ class Packet:
         self.retransmit = retransmit
         self.mrp = mrp
         self.meta = meta
+        self.sr = sr
         self.hops = 0
 
     # -- wire size ---------------------------------------------------------
@@ -115,6 +117,8 @@ class Packet:
         t = self.ptype
         if t == PacketType.DATA:
             extra = 16 if (self.op == RdmaOp.WRITE and self.first) else 0
+            if self.sr is not None:
+                extra += self.sr.header_bytes
             return self.payload + constants.HEADER_BYTES + extra
         if t in (PacketType.ACK, PacketType.NACK):
             return constants.ACK_BYTES
@@ -141,6 +145,7 @@ class Packet:
             first=self.first, last=self.last, vaddr=self.vaddr,
             rkey=self.rkey, created_at=self.created_at,
             retransmit=self.retransmit, mrp=self.mrp, meta=self.meta,
+            sr=self.sr,
         )
         p.ecn = self.ecn
         p.hops = self.hops

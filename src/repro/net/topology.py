@@ -104,6 +104,24 @@ class Topology:
     def switches_in_layer(self, layer: str) -> List[Switch]:
         return [s for s in self.switches if getattr(s, "layer", None) == layer]
 
+    def switch_link_map(self) -> Dict[str, Dict[int, "Tuple[Switch, int]"]]:
+        """``switch name -> {port -> (peer switch, peer port)}`` for every
+        switch-to-switch link.
+
+        This is the read-only adjacency view a source-routed tree encoder
+        walks: following a route port at one switch lands on the peer's
+        ingress port, which is itself a tree port of the (undirected) MDT.
+        """
+        peers: Dict[str, Dict[int, Tuple[Switch, int]]] = {
+            sw.name: {} for sw in self.switches
+        }
+        for link in self.links:
+            if not isinstance(link.dev_a, Switch) or not isinstance(link.dev_b, Switch):
+                continue
+            peers[link.dev_a.name][link.port_a] = (link.dev_b, link.port_b)
+            peers[link.dev_b.name][link.port_b] = (link.dev_a, link.port_a)
+        return peers
+
     def set_loss_rate(self, rate: float, layers: Tuple[str, ...] = ("agg", "core")) -> None:
         """Inject random loss at 'middle switches' (paper §V-C setup)."""
         targets = [s for s in self.switches if getattr(s, "layer", None) in layers]

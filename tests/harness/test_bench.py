@@ -157,6 +157,49 @@ class TestCompare:
         with pytest.raises(ValueError):
             bench.load_document(str(path))
 
+    def test_v1_documents_still_load(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"schema": "cepheus-bench/v1",
+                                    "experiments": {}}))
+        assert bench.load_document(str(path))["schema"] == "cepheus-bench/v1"
+
+    def test_events_per_sec_is_informational(self, capsys):
+        base = _doc({"fig8": {"mean_speedup": 2.5}})
+        base["events_per_sec"] = 1000.0
+        cur = _doc({"fig8": {"mean_speedup": 2.5}})
+        cur["events_per_sec"] = 500.0  # 2x slower: still not a failure
+        comp = bench.compare(cur, base)
+        assert comp.ok
+        assert any("events_per_sec" in n for n in comp.throughput_notes)
+        assert "informational" in comp.format()
+
+
+class TestThroughputFields:
+    def _result(self, cached=False):
+        res = ExperimentResult("e", "t", ["x"])
+        res.rows.append({"x": 1.0})
+        res.cached = cached
+        return res
+
+    def test_make_entry_computes_rate(self):
+        entry = bench.make_entry(self._result(), wall_s=2.0, events=1000)
+        assert entry["events_per_sec"] == 500.0
+
+    def test_cached_entry_has_no_rate(self):
+        entry = bench.make_entry(self._result(cached=True),
+                                 wall_s=0.001, events=1000)
+        assert entry["events_per_sec"] is None
+
+    def test_document_aggregates_uncached_only(self):
+        live = bench.make_entry(self._result(), wall_s=2.0, events=1000)
+        hot = bench.make_entry(self._result(cached=True),
+                               wall_s=0.001, events=9999)
+        doc = bench.make_document({"a": live, "b": hot}, mode="quick",
+                                  jobs=1, fingerprint="f" * 64,
+                                  total_wall_s=2.0)
+        assert doc["schema"] == bench.SCHEMA == "cepheus-bench/v2"
+        assert doc["events_per_sec"] == 500.0
+
 
 class TestBenchCli:
     def _emit(self, tmp_path, name="A.json"):

@@ -60,7 +60,7 @@ class TestMainCli:
         assert main(["--only", "fig7b", "--no-cache",
                      "--emit", str(out)]) == 0
         doc = json.loads(out.read_text())
-        assert doc["schema"] == "cepheus-bench/v1"
+        assert doc["schema"] == "cepheus-bench/v2"
         assert doc["mode"] == "quick"
         entry = doc["experiments"]["fig7b"]
         assert entry["events"] >= 0 and entry["wall_s"] >= 0

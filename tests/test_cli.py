@@ -88,6 +88,19 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "admit -> lookaside_detour -> mrp" in out
 
+    def test_pipeline_dump_source_routed_has_sp_forward(self, capsys):
+        assert main(["pipeline", "dump", "--deployment",
+                     "source_routed"]) == 0
+        out = capsys.readouterr().out
+        assert ("accel[source_routed]: admit -> mrp -> sp_forward -> "
+                "mft_lookup") in out
+
+    def test_pipeline_dump_unknown_deployment_clean_error(self, capsys):
+        assert main(["pipeline", "dump", "--deployment", "quantum"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown deployment 'quantum'" in err
+        assert "inline, lookaside, source_routed" in err
+
     def test_pipeline_dump_switch_filter(self, capsys):
         assert main(["pipeline", "dump", "--topo", "fat_tree",
                      "--switch", "core0"]) == 0
