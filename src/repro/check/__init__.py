@@ -10,7 +10,9 @@ aggregation or failure-repair paths surfaces as a named violation
 instead of a silently wrong benchmark number.
 """
 
+from repro.check.coverage import CoverageCollector, CoverageMap
 from repro.check.invariants import (InvariantMonitor, InvariantViolationError,
                                     Violation)
 
-__all__ = ["InvariantMonitor", "InvariantViolationError", "Violation"]
+__all__ = ["CoverageCollector", "CoverageMap", "InvariantMonitor",
+           "InvariantViolationError", "Violation"]

@@ -11,6 +11,10 @@ Installed as the ``cepheus-repro`` console script::
     cepheus-repro chaos replay repro.json        # re-run a reproducer
     cepheus-repro churn run --seed 11 --trials 3 # membership-churn campaign
     cepheus-repro churn replay repro.json        # re-run a churn reproducer
+    cepheus-repro fuzz run --budget-trials 50 \
+                  --corpus tests/harness/corpus  # coverage-guided fuzzing
+    cepheus-repro fuzz replay tests/harness/corpus --jobs 4
+    cepheus-repro fuzz corpus                    # list corpus inputs
     cepheus-repro bench emit --jobs 4            # parallel run -> BENCH_quick.json
     cepheus-repro bench compare BENCH_quick.json benchmarks/baselines/BENCH_quick.json
     cepheus-repro pipeline dump --deployment lookaside  # stage chains
@@ -88,7 +92,8 @@ def _chaos_config(args) -> "object":
         topo=args.topo, hosts=args.hosts, k=args.k,
         messages=args.messages, msg_packets=args.msg_packets,
         incidents=args.incidents, horizon=args.horizon,
-        loss_rate=args.loss_rate, mutate=args.mutate or None,
+        loss_rate=args.loss_rate, deployment=args.deployment,
+        mutate=args.mutate or None,
     )
 
 
@@ -200,6 +205,106 @@ def _cmd_churn_replay(args) -> int:
         print("churn: reproducer still failing", file=sys.stderr)
         return 3
     print("churn: reproducer no longer fails (fixed?)", file=sys.stderr)
+    return 0
+
+
+def _fuzz_config(args) -> "object":
+    from repro.harness.fuzz import FuzzConfig
+
+    return FuzzConfig(
+        topo=args.topo, hosts=args.hosts, k=args.k,
+        initial_members=args.members, messages=args.messages,
+        msg_packets=args.msg_packets, incidents_max=args.incidents_max,
+        joins_max=args.joins_max, leaves_max=args.leaves_max,
+        horizon=args.horizon, loss_rate=args.loss_rate,
+        jct_slack=args.jct_slack,
+    )
+
+
+def _cmd_fuzz_run(args) -> int:
+    import json
+
+    from repro.harness.fuzz import load_corpus, run_fuzz, save_corpus
+
+    cfg = _fuzz_config(args)
+    corpus_in = []
+    if args.corpus:
+        corpus_in = [s for _, s in load_corpus(args.corpus)]
+    doc = run_fuzz(cfg, seed=args.seed, budget_trials=args.budget_trials,
+                   corpus=corpus_in, shrink=not args.no_shrink)
+    corpus = doc.pop("_corpus")
+    if args.corpus and not args.frozen_corpus:
+        written = save_corpus(args.corpus, cfg, corpus)
+        for path in written:
+            print(f"fuzz: corpus input written to {path}", file=sys.stderr)
+    blob = json.dumps(doc, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(blob + "\n")
+    else:
+        print(blob)
+    n_fail = len(doc["failing_trials"])
+    print(f"fuzz: {args.budget_trials} trial(s), corpus {len(corpus)}, "
+          f"{doc['coverage_keys']} coverage keys "
+          f"[{doc['coverage_signature'][:12]}], {n_fail} failing "
+          f"(seed={args.seed})", file=sys.stderr)
+    if n_fail and args.repro_dir:
+        import os
+
+        os.makedirs(args.repro_dir, exist_ok=True)
+        for rep in doc["reproducers"]:
+            path = os.path.join(args.repro_dir,
+                                f"fuzz-seed{args.seed}-t{rep['trial']}.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(rep, indent=2, sort_keys=True) + "\n")
+            print(f"fuzz: reproducer written to {path}", file=sys.stderr)
+    return 3 if n_fail else 0
+
+
+def _cmd_fuzz_replay(args) -> int:
+    import json
+    import os
+
+    from repro.harness.fuzz import replay_corpus, replay_fuzz_reproducer
+
+    if os.path.isdir(args.target):
+        doc = replay_corpus(args.target, jobs=args.jobs)
+        blob = json.dumps(doc, indent=2, sort_keys=True)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(blob + "\n")
+        else:
+            print(blob)
+        print(f"fuzz: replayed {doc['inputs']} corpus input(s), "
+              f"{doc['coverage_keys']} coverage keys "
+              f"[{doc['coverage_signature'][:12]}], "
+              f"{len(doc['failing'])} failing", file=sys.stderr)
+        return 3 if doc["failing"] else 0
+    try:
+        record = replay_fuzz_reproducer(args.target)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"fuzz: cannot replay {args.target}: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(record, indent=2, sort_keys=True))
+    if record["failing"]:
+        print("fuzz: reproducer still failing", file=sys.stderr)
+        return 3
+    print("fuzz: reproducer no longer fails (fixed?)", file=sys.stderr)
+    return 0
+
+
+def _cmd_fuzz_corpus(args) -> int:
+    from repro.harness.fuzz import load_corpus
+
+    entries = load_corpus(args.corpus)
+    if not entries:
+        print(f"fuzz: no corpus inputs under {args.corpus}", file=sys.stderr)
+        return 2
+    print(f"corpus {args.corpus}: {len(entries)} input(s)")
+    for _, s in entries:
+        print(f"  {s.content_hash()[:12]}  msgs={len(s.sources)} "
+              f"incidents={len(s.incidents)} churn={len(s.churn)} "
+              f"seed={s.trial_seed}")
     return 0
 
 
@@ -373,6 +478,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--horizon", type=float, default=0.04,
                        help="virtual seconds of traffic per trial")
     p_run.add_argument("--loss-rate", type=float, default=0.0)
+    p_run.add_argument("--deployment", default="inline",
+                       choices=("inline", "lookaside", "source_routed"),
+                       help="accelerator deployment style under test")
     p_run.add_argument("--mutate", default="",
                        help="arm a deliberate protocol mutation "
                             "(e.g. psn-skip) to self-test the monitor")
@@ -428,6 +536,66 @@ def build_parser() -> argparse.ArgumentParser:
         "replay", help="re-execute a churn reproducer JSON file")
     p_creplay.add_argument("file")
     p_creplay.set_defaults(fn=_cmd_churn_replay)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="coverage-guided protocol fuzzing with differential "
+                     "deployment oracles")
+    fuzz_sub = p_fuzz.add_subparsers(dest="fuzz_command", required=True)
+
+    p_frun = fuzz_sub.add_parser(
+        "run", help="coverage-guided fuzzing session over chaos/churn "
+                    "schedules (every trial runs all three deployments)")
+    p_frun.add_argument("--seed", type=int, default=1)
+    p_frun.add_argument("--budget-trials", type=int, default=50)
+    p_frun.add_argument("--topo", default="star",
+                        choices=("star", "fat_tree"))
+    p_frun.add_argument("--hosts", type=int, default=8)
+    p_frun.add_argument("--k", type=int, default=4,
+                        help="fat-tree arity (fat_tree topo only)")
+    p_frun.add_argument("--members", type=int, default=6,
+                        help="initial group size")
+    p_frun.add_argument("--messages", type=int, default=3)
+    p_frun.add_argument("--msg-packets", type=int, default=6)
+    p_frun.add_argument("--incidents-max", type=int, default=2)
+    p_frun.add_argument("--joins-max", type=int, default=1)
+    p_frun.add_argument("--leaves-max", type=int, default=1)
+    p_frun.add_argument("--horizon", type=float, default=0.03,
+                        help="virtual seconds of traffic per trial")
+    p_frun.add_argument("--loss-rate", type=float, default=0.0)
+    p_frun.add_argument("--jct-slack", type=float, default=5.0,
+                        help="throughput-oracle ceiling multiplier over "
+                             "the analytic JCT model")
+    p_frun.add_argument("--corpus", default="",
+                        help="corpus directory: seeds the session and "
+                             "receives new coverage-reaching inputs")
+    p_frun.add_argument("--frozen-corpus", action="store_true",
+                        help="read the corpus but do not write new "
+                             "entries back")
+    p_frun.add_argument("--no-shrink", action="store_true",
+                        help="skip reproducer minimization")
+    p_frun.add_argument("--out", default="",
+                        help="write session JSON here instead of stdout")
+    p_frun.add_argument("--repro-dir", default="",
+                        help="directory for per-failure reproducer files")
+    p_frun.set_defaults(fn=_cmd_fuzz_run)
+
+    p_freplay = fuzz_sub.add_parser(
+        "replay", help="re-execute a corpus directory (deterministic "
+                       "coverage signature) or one reproducer JSON file")
+    p_freplay.add_argument("target",
+                           help="corpus directory or reproducer file")
+    p_freplay.add_argument("--jobs", type=int, default=1,
+                           help="parallel replay workers (directory only; "
+                                "the signature is jobs-independent)")
+    p_freplay.add_argument("--out", default="",
+                           help="write replay JSON here instead of stdout")
+    p_freplay.set_defaults(fn=_cmd_fuzz_replay)
+
+    p_fcorpus = fuzz_sub.add_parser(
+        "corpus", help="list the inputs of a corpus directory")
+    p_fcorpus.add_argument("--corpus", default="tests/harness/corpus",
+                           help="corpus directory")
+    p_fcorpus.set_defaults(fn=_cmd_fuzz_corpus)
 
     p_bench = sub.add_parser(
         "bench", help="machine-readable benchmark runs and regression diffs")

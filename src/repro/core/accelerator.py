@@ -27,6 +27,7 @@ ingress port re-points AckOutPort and resets the trigger port.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -148,7 +149,8 @@ class CepheusAccelerator:
             self.stage_feedback,
         ]
         return Pipeline(stages,
-                        name=f"{self.switch.name}.accel[{self.cfg.deployment}]")
+                        name=f"{self.switch.name}.accel[{self.cfg.deployment}]",
+                        bus=self.bus)
 
     # ------------------------------------------------------------------
     # ACL classification (what gets redirected to the FPGA)
@@ -544,6 +546,15 @@ class CepheusAccelerator:
                     if not members:
                         self._drop_path(mft, direct)
                 self.mrp_records_removed += 1
+            if os.environ.get("CEPHEUS_SEEDED_BUG") == "sr-skip-leave-confirm":
+                # Deliberate fault for the fuzzer's mutation self-test:
+                # the leaf never confirms the LEAVE on the member's
+                # behalf, so the controller's delta transaction exhausts
+                # its retries.  Only the source-routed deployment is
+                # affected, and only schedules with a leave on a healthy
+                # fabric expose it.  Armed via the environment —
+                # production runs never take this branch.
+                continue
             confirm = Packet(
                 PacketType.MRP_CONFIRM, node.ip, payload.controller_ip,
                 payload=16, meta=(payload.mcst_id, node.ip),

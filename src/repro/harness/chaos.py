@@ -39,6 +39,7 @@ from repro import constants
 from repro.apps.cluster import Cluster
 from repro.check import InvariantMonitor
 from repro.collectives import CepheusBcast
+from repro.core.accelerator import AcceleratorConfig
 from repro.net.failures import FailureInjector
 from repro.net.switch import Switch, SwitchConfig
 from repro.transport import qp as qp_state
@@ -46,7 +47,7 @@ from repro.transport.roce import RoceConfig
 
 __all__ = [
     "ChaosConfig", "Incident", "Schedule", "generate_schedule",
-    "run_trial", "run_campaign", "shrink_schedule",
+    "greedy_drop", "run_trial", "run_campaign", "shrink_schedule",
     "load_reproducer", "replay_reproducer",
 ]
 
@@ -67,6 +68,7 @@ class ChaosConfig:
     loss_rate: float = 0.0       # baseline random loss on every switch
     rto: float = 200e-6
     retransmit_mode: str = "gbn"
+    deployment: str = "inline"   # accelerator style: inline | lookaside | source_routed
     mutate: Optional[str] = None  # "psn-skip" arms the PSN fault hook
 
     def to_dict(self) -> Dict[str, object]:
@@ -141,12 +143,14 @@ class Schedule:
 def _build_cluster(cfg: ChaosConfig, trial_seed: int) -> Cluster:
     sw_cfg = SwitchConfig(loss_rate=cfg.loss_rate, seed=trial_seed)
     roce = RoceConfig(rto=cfg.rto, retransmit_mode=cfg.retransmit_mode)
+    accel = AcceleratorConfig(deployment=cfg.deployment)
     if cfg.topo == "star":
         return Cluster.testbed(cfg.hosts, switch_config=sw_cfg,
-                               roce_config=roce)
+                               accel_config=accel, roce_config=roce)
     if cfg.topo == "fat_tree":
         return Cluster.fat_tree_cluster(cfg.k, hosts_limit=cfg.hosts,
                                         switch_config=sw_cfg,
+                                        accel_config=accel,
                                         roce_config=roce)
     raise ValueError(f"unknown chaos topology {cfg.topo!r}")
 
@@ -235,12 +239,23 @@ def _install_incident(cluster: Cluster, injector: FailureInjector,
 
 
 def run_trial(cfg: ChaosConfig, schedule: Schedule,
-              trial_index: int = 0) -> Dict[str, object]:
-    """Execute one trial; returns a JSON-able, deterministic record."""
+              trial_index: int = 0,
+              coverage=None) -> Dict[str, object]:
+    """Execute one trial; returns a JSON-able, deterministic record.
+
+    ``coverage`` (a :class:`repro.check.CoverageMap`) arms a
+    :class:`repro.check.CoverageCollector` for the trial, keyed by the
+    config's deployment — the fuzzer and the stage-coverage regression
+    tests use it; plain campaigns skip the instrumentation cost.
+    """
     cluster = _build_cluster(cfg, schedule.trial_seed)
     sim = cluster.sim
     monitor = InvariantMonitor()
     monitor.attach_cluster(cluster)
+    collector = None
+    if coverage is not None:
+        from repro.check import CoverageCollector
+        collector = CoverageCollector(sim.bus, cfg.deployment, coverage)
     saved_hook = qp_state.psn_tx_hook
     try:
         members = list(cluster.host_ips)
@@ -323,6 +338,9 @@ def run_trial(cfg: ChaosConfig, schedule: Schedule,
         }
     finally:
         qp_state.psn_tx_hook = saved_hook
+        if collector is not None:
+            collector.add_violations(monitor.violations)
+            collector.detach()
         monitor.detach()
 
 
@@ -334,23 +352,41 @@ def _fails(cfg: ChaosConfig, schedule: Schedule) -> bool:
 # shrinking
 # ---------------------------------------------------------------------------
 
+def greedy_drop(items, rebuild, fails):
+    """One greedy delta-debugging pass over ``items``.
+
+    Tries removing each element in turn; ``rebuild(remaining)`` makes
+    the candidate and ``fails(candidate)`` re-runs the trial.  Every
+    removal that still fails is kept.  Shared by the chaos, churn and
+    fuzz shrinkers — each probe is a full deterministic re-run, so the
+    result is guaranteed to reproduce the failure.
+
+    Returns ``(surviving_items, final_candidate)``; the candidate is
+    ``rebuild(items)`` even when nothing could be dropped.
+    """
+    items = list(items)
+    candidate = rebuild(items)
+    i = 0
+    while i < len(items):
+        cand = rebuild(items[:i] + items[i + 1:])
+        if fails(cand):
+            items.pop(i)
+            candidate = cand
+        else:
+            i += 1
+    return items, candidate
+
+
 def shrink_schedule(cfg: ChaosConfig, schedule: Schedule) -> Schedule:
     """Greedily minimize a failing schedule.
 
     Drops incidents one at a time, then trailing messages, keeping every
-    reduction that still fails.  Each probe is a full deterministic
-    re-run, so the result is guaranteed to reproduce the failure.
+    reduction that still fails.
     """
-    incidents = list(schedule.incidents)
-    i = 0
-    while i < len(incidents):
-        cand = replace(schedule,
-                       incidents=tuple(incidents[:i] + incidents[i + 1:]))
-        if _fails(cfg, cand):
-            incidents.pop(i)
-            schedule = cand
-        else:
-            i += 1
+    _, schedule = greedy_drop(
+        schedule.incidents,
+        lambda inc: replace(schedule, incidents=tuple(inc)),
+        lambda cand: _fails(cfg, cand))
     sources = list(schedule.sources)
     while len(sources) > 1:
         cand = replace(schedule, sources=tuple(sources[:-1]))

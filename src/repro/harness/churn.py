@@ -37,6 +37,7 @@ from repro import constants
 from repro.apps.cluster import Cluster
 from repro.check import InvariantMonitor
 from repro.collectives import CepheusBcast
+from repro.harness.chaos import greedy_drop
 from repro.net.failures import FailureInjector
 from repro.net.switch import SwitchConfig
 from repro.transport.roce import RoceConfig
@@ -346,15 +347,10 @@ def shrink_churn_schedule(cfg: ChurnConfig,
     """Greedily minimize a failing schedule: drop churn events one at a
     time, then trailing messages, keeping every reduction that still
     fails.  Each probe is a full deterministic re-run."""
-    events = list(schedule.events)
-    i = 0
-    while i < len(events):
-        cand = replace(schedule, events=tuple(events[:i] + events[i + 1:]))
-        if _fails(cfg, cand):
-            events.pop(i)
-            schedule = cand
-        else:
-            i += 1
+    _, schedule = greedy_drop(
+        schedule.events,
+        lambda evs: replace(schedule, events=tuple(evs)),
+        lambda cand: _fails(cfg, cand))
     offsets = list(schedule.offsets)
     while len(offsets) > 1:
         cand_cfg = replace(cfg, messages=len(offsets) - 1)

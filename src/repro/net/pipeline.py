@@ -76,6 +76,10 @@ class ObserverBus:
                               tail drop, or an unregistered-group discard
     ``membership_epoch``      ``(qp, epoch)`` — a membership delta re-based the
                               QP's PSN stream position
+    ``stage``                 ``(pipeline, stage_name, verdict)`` — one stage
+                              of a :class:`Pipeline` ran; ``verdict`` is
+                              ``None``, :data:`STOP` or :data:`DEFER` (the
+                              coverage-guided fuzzer's verdict tap)
     ``event``                 ``(now,)`` — per-simulator-event tick (sampled
                               structural sweeps)
     ========================  ==================================================
@@ -93,7 +97,7 @@ class ObserverBus:
 
     CHANNELS: Tuple[str, ...] = (
         "classify", "replicate", "bridge", "feedback", "deliver",
-        "qp_send", "emit", "drop", "membership_epoch", "event",
+        "qp_send", "emit", "drop", "membership_epoch", "stage", "event",
     )
 
     #: Bound on the retained error log (oldest entries are discarded).
@@ -226,21 +230,50 @@ class Pipeline:
     A stage is any callable taking one :class:`PipelineContext` and
     returning ``None`` (continue), :data:`STOP` (packet consumed) or
     :data:`DEFER` (the stage scheduled :meth:`resume` itself).
+
+    When a ``bus`` is attached and someone subscribes to its ``stage``
+    channel, every stage execution publishes
+    ``(pipeline, stage_name, verdict)`` — the behavioral-coverage feed
+    of the protocol fuzzer.  With no subscriber the only added cost is
+    one truthiness test per :meth:`run` call.
     """
 
-    __slots__ = ("name", "stages")
+    __slots__ = ("name", "stages", "bus", "_names")
 
-    def __init__(self, stages, name: str = "") -> None:
+    def __init__(self, stages, name: str = "", bus: Optional[ObserverBus] = None) -> None:
         self.name = name
         self.stages = list(stages)
+        self.bus = bus
+        self._names: Optional[List[str]] = None
 
     def run(self, ctx: PipelineContext, start: int = 0) -> Optional[_Verdict]:
+        bus = self.bus
+        if bus is not None and bus.stage:
+            return self._run_observed(ctx, start, bus)
         stages = self.stages
         n = len(stages)
         i = start
         while i < n:
             ctx.stage_index = i
             verdict = stages[i](ctx)
+            if verdict is not None:
+                return verdict
+            i += 1
+        return None
+
+    def _run_observed(self, ctx: PipelineContext, start: int,
+                      bus: ObserverBus) -> Optional[_Verdict]:
+        """The ``run`` loop with the per-stage verdict tap armed."""
+        names = self._names
+        if names is None:
+            names = self._names = self.stage_names()
+        stages = self.stages
+        n = len(stages)
+        i = start
+        while i < n:
+            ctx.stage_index = i
+            verdict = stages[i](ctx)
+            bus.publish("stage", self, names[i], verdict)
             if verdict is not None:
                 return verdict
             i += 1

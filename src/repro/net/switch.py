@@ -102,7 +102,7 @@ class Switch:
         self.pipeline = Pipeline(
             [self.stage_pfc, self.stage_loss, self.stage_acl_classify,
              self.stage_unicast_forward],
-            name=f"{name}.rx",
+            name=f"{name}.rx", bus=self.bus,
         )
 
     # -- FIB management -------------------------------------------------------

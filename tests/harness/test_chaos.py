@@ -125,3 +125,52 @@ def test_cli_chaos_run_and_replay(tmp_path, capsys):
     assert rc == 3  # still failing (the mutation is in the config)
     doc = json.loads(out.read_text())
     assert doc["failing_trials"] == [0]
+
+
+# ---------------------------------------------------------------------------
+# deployment-parameterized campaigns
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("deployment", ["lookaside", "source_routed"])
+def test_campaign_clean_under_alternate_deployments(deployment):
+    cfg = ChaosConfig(hosts=4, messages=2, msg_packets=4,
+                      incidents=1, horizon=0.01, deployment=deployment)
+    camp = run_campaign(cfg, seed=7, trials=2)
+    assert camp["failing_trials"] == [], camp
+    assert camp["reproducers"] == []
+
+
+def test_source_routed_campaign_trial_covers_sp_forward():
+    """Regression: a source-routed chaos trial must actually route
+    packets through the ``sp_forward`` stage — if the deployment knob
+    silently fell back to inline, the header-driven path would go
+    untested by every campaign."""
+    from repro.check import CoverageMap
+
+    cfg = ChaosConfig(hosts=4, messages=2, msg_packets=4,
+                      incidents=1, horizon=0.01,
+                      deployment="source_routed")
+    sched = generate_schedule(cfg, random.Random(2))
+    cov = CoverageMap()
+    rec = run_trial(cfg, sched, coverage=cov)
+    assert not rec["failing"], rec["violations"]
+    keys = cov.to_list()
+    assert any(k.startswith("stage/source_routed/accel/sp_forward/")
+               for k in keys), keys
+    # and none of the coverage claims a different deployment ran
+    assert all("/inline/" not in k and "/lookaside/" not in k
+               for k in keys)
+
+
+def test_cli_chaos_run_accepts_deployment_flag(tmp_path):
+    from repro.cli import main
+
+    out = tmp_path / "campaign.json"
+    rc = main(["chaos", "run", "--seed", "7", "--trials", "1",
+               "--hosts", "4", "--messages", "2", "--msg-packets", "4",
+               "--incidents", "1", "--horizon", "0.01",
+               "--deployment", "source_routed", "--out", str(out)])
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    assert doc["config"]["deployment"] == "source_routed"
+    assert doc["failing_trials"] == []

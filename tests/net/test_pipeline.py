@@ -241,6 +241,66 @@ class TestPipeline:
 
 
 # ---------------------------------------------------------------------------
+# the stage verdict tap (coverage-guided fuzzing feed)
+# ---------------------------------------------------------------------------
+
+class TestStageTap:
+    def _chain(self, bus):
+        def stage_admit(ctx):
+            return None
+
+        def stage_halt(ctx):
+            return STOP
+
+        def stage_never(ctx):  # pragma: no cover - halted before
+            return None
+
+        return Pipeline([stage_admit, stage_halt, stage_never],
+                        name="sw0.rx", bus=bus)
+
+    def test_stage_channel_publishes_name_and_verdict(self):
+        bus = ObserverBus()
+        got = []
+        bus.subscribe("stage", lambda p, name, v: got.append((p.name, name, v)))
+        p = self._chain(bus)
+        assert p.run(PipelineContext("pkt", 0)) is STOP
+        assert got == [("sw0.rx", "admit", None), ("sw0.rx", "halt", STOP)]
+
+    def test_no_subscriber_means_no_publication(self):
+        bus = ObserverBus()
+        p = self._chain(bus)
+        # no stage subscriber: the fast loop runs; arm one afterwards
+        assert p.run(PipelineContext("pkt", 0)) is STOP
+        got = []
+        bus.subscribe("stage", lambda *a: got.append(a))
+        p.run(PipelineContext("pkt", 0))
+        assert len(got) == 2
+
+    def test_busless_pipeline_still_runs(self):
+        p = Pipeline([lambda ctx: STOP], name="bare")
+        assert p.run(PipelineContext("pkt", 0)) is STOP
+
+    def test_defer_verdict_reaches_the_tap(self):
+        sim = Simulator()
+        bus = ObserverBus()
+        verdicts = []
+        bus.subscribe("stage", lambda p, n, v: verdicts.append((n, v)))
+
+        def stage_wait(ctx):
+            sim.schedule(1e-6, p.resume, ctx)
+            return DEFER
+
+        def stage_done(ctx):
+            return STOP
+
+        p = Pipeline([stage_wait, stage_done], name="sw0.accel[inline]",
+                     bus=bus)
+        p.run(PipelineContext("pkt", 0))
+        sim.run()
+        assert verdicts == [("wait", DEFER), ("done", STOP)]
+
+
+# ---------------------------------------------------------------------------
 # no-observer fast path
 # ---------------------------------------------------------------------------
 
