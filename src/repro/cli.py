@@ -360,11 +360,23 @@ def _cmd_bench_compare(args) -> int:
     except (OSError, ValueError) as exc:
         print(f"bench: {exc}", file=sys.stderr)
         return 2
+    floors = {}
+    for spec in args.min_events_per_sec:
+        exp_id, sep, value = spec.partition("=")
+        try:
+            if not sep or not exp_id:
+                raise ValueError(spec)
+            floors[exp_id] = float(value)
+        except ValueError:
+            print(f"bench: bad --min-events-per-sec {spec!r} "
+                  f"(expected <exp_id>=<floor>)", file=sys.stderr)
+            return 2
     comp = bench.compare(
         current, baseline, tolerances,
         check_events=args.check_events,
         max_wall_drift=args.max_wall_drift if args.max_wall_drift >= 0
-        else None)
+        else None,
+        min_events_per_sec=floors or None)
     print(comp.format(verbose=args.verbose))
     if comp.ok:
         print("bench: no regressions", file=sys.stderr)
@@ -632,6 +644,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail if total_wall_s exceeds the baseline "
                             "by more than this fraction (e.g. 0.10); "
                             "one-sided, off by default")
+    p_cmp.add_argument("--min-events-per-sec", action="append",
+                       default=[], metavar="EXP=FLOOR",
+                       help="absolute simulator-throughput floor for one "
+                            "experiment in the current document (e.g. "
+                            "fig11=150000); repeatable; cached entries "
+                            "fail the floor (their throughput is null)")
     p_cmp.add_argument("--verbose", action="store_true",
                        help="print passing metrics too")
     p_cmp.set_defaults(fn=_cmd_bench_compare)

@@ -98,6 +98,9 @@ class CepheusAccelerator:
         # ingress pruning and retransmission filtering); "bridge" after
         # each connection-bridging rewrite.
         self.bus = switch.sim.bus
+        self.sim = switch.sim
+        self._ctx_pool = switch.sim.pools.ctx
+        self._pkt_pool = switch.sim.pools.pkt
         self.feedback = FeedbackEngine(self.cfg.feedback, bus=self.bus)
         # group-level load per port, for the least-loaded MDT port choice
         self.port_group_load: Dict[int, int] = {}
@@ -157,10 +160,16 @@ class CepheusAccelerator:
     # ------------------------------------------------------------------
 
     def classify(self, pkt: Packet) -> bool:
-        if pkt.ptype == PacketType.MRP:
+        # Checked once per switch arrival; DATA first (the common case),
+        # with is_multicast_ip/is_feedback inlined.
+        t = pkt.ptype
+        if t == PacketType.DATA:
+            return pkt.dst_ip >= constants.MCSTID_BASE
+        if t == PacketType.MRP:
             return True
-        return is_multicast_ip(pkt.dst_ip) and (
-            pkt.ptype == PacketType.DATA or pkt.is_feedback
+        return pkt.dst_ip >= constants.MCSTID_BASE and (
+            t == PacketType.ACK or t == PacketType.NACK
+            or t == PacketType.CNP
         )
 
     # ------------------------------------------------------------------
@@ -169,14 +178,23 @@ class CepheusAccelerator:
 
     def process(self, pkt: Packet, in_port: int) -> None:
         """Run one classified packet through the stage chain."""
-        self.pipeline.run(PipelineContext(pkt, in_port, self.switch, self))
+        pool = self._ctx_pool
+        ctx = pool.acquire(pkt, in_port, self.switch, self)
+        if self.pipeline.run(ctx) is not DEFER:
+            pool.release(ctx)
+
+    def _resume(self, ctx: PipelineContext) -> None:
+        """Scheduled continuation of a deferred context; recycles the
+        context once the chain reaches a terminal verdict."""
+        if self.pipeline.resume(ctx) is not DEFER:
+            self._ctx_pool.release(ctx)
 
     def stage_admit(self, ctx: PipelineContext):
         """Fixed per-packet processing latency of the board (§IV); both
         deployments pay it before any table state is read."""
         delay = self.switch.config.accelerator_delay
         if delay > 0:
-            self.switch.sim.schedule(delay, self.pipeline.resume, ctx)
+            self.sim.post(delay, self._resume, ctx)
             return DEFER
         return None
 
@@ -185,8 +203,7 @@ class CepheusAccelerator:
         (§IV): admission gated by the board's aggregate transceiver
         capacity, plus one link serialization and two propagations."""
         self.lookaside_detours += 1
-        self.switch.sim.schedule(
-            self._detour_delay(ctx.pkt), self.pipeline.resume, ctx)
+        self.sim.post(self._detour_delay(ctx.pkt), self._resume, ctx)
         return DEFER
 
     def _detour_delay(self, pkt: Packet) -> float:
@@ -209,6 +226,7 @@ class CepheusAccelerator:
         if ctx.pkt.ptype != PacketType.MRP:
             return None
         self._process_mrp(ctx.pkt, ctx.in_port)
+        self._pkt_pool.release(ctx.pkt)  # consumed; sub-MRPs are fresh
         return STOP
 
     def _process_mrp(self, pkt: Packet, in_port: int) -> None:
@@ -399,6 +417,7 @@ class CepheusAccelerator:
                 if bus.drop:
                     bus.publish("drop", self.switch, pkt, ctx.in_port,
                                 "sr-no-rule")
+                self._pkt_pool.release(pkt)
                 return STOP
             self.sr_residual_hits += 1
         try:
@@ -408,6 +427,7 @@ class CepheusAccelerator:
             if bus.drop:
                 bus.publish("drop", self.switch, pkt, ctx.in_port,
                             "sr-table-full")
+            self._pkt_pool.release(pkt)
             return STOP
         self._sr_sync(mft, bitmap, hdr.epoch, ctx.in_port)
         ctx.mft = mft
@@ -581,6 +601,7 @@ class CepheusAccelerator:
             if bus.drop:
                 bus.publish("drop", self.switch, ctx.pkt, ctx.in_port,
                             "unregistered-group")
+            self._pkt_pool.release(ctx.pkt)
             return STOP
         ctx.mft = mft
         if ctx.pkt.ptype == PacketType.DATA:
@@ -596,6 +617,7 @@ class CepheusAccelerator:
             self._process_reduce_data(ctx.mft, ctx.pkt, ctx.in_port)
         else:
             self._replicate_feedback_down(ctx.mft, ctx.pkt, ctx.in_port)
+        self._pkt_pool.release(ctx.pkt)  # reduce emits clones only
         return STOP
 
     def stage_track_source(self, ctx: PipelineContext):
@@ -631,7 +653,8 @@ class CepheusAccelerator:
         if bus.replicate:
             bus.publish("replicate", self, mft, pkt, in_port, targets)
         last = len(targets) - 1
-        ctx.replicas = [(e, pkt if i == last else pkt.clone())
+        pool = self._pkt_pool
+        ctx.replicas = [(e, pkt if i == last else pool.clone(pkt))
                         for i, e in enumerate(targets)]
         return None
 
@@ -650,6 +673,10 @@ class CepheusAccelerator:
                     bus.publish("bridge", self, mft, replica, entry)
             self.switch.emit(replica, entry.port, in_port)
             self.replicas_out += 1
+        if not ctx.replicas:
+            # Every target was pruned/filtered: the ingress packet goes
+            # nowhere and is dead here.
+            self._pkt_pool.release(ctx.pkt)
         return STOP
 
     def _track_source(self, mft: Mft, pkt: Packet, in_port: int) -> None:
@@ -752,6 +779,7 @@ class CepheusAccelerator:
         else:
             emits = self.feedback.on_cnp(mft, in_port, self.switch.sim.now)
         self._emit_feedback(mft, emits, in_port)
+        self._pkt_pool.release(pkt)  # aggregated feedback is fresh packets
         return STOP
 
     def _emit_feedback(self, mft: Mft, emits, in_port: int) -> None:
@@ -761,7 +789,7 @@ class CepheusAccelerator:
         if out_port is None:
             return
         for ptype, psn in emits:
-            fb = Packet(
+            fb = self._pkt_pool.acquire(
                 ptype, mft.mcst_id, mft.mcst_id,
                 psn=psn, created_at=self.switch.sim.now,
             )
@@ -769,7 +797,9 @@ class CepheusAccelerator:
                 # Source leaf: the final rewrite so the sender RNIC's QP
                 # demux accepts the stream as its own connection's.
                 if mft.src_ip is None:
-                    continue  # no data observed yet; nothing to rewrite to
+                    # No data observed yet; nothing to rewrite to.
+                    self._pkt_pool.release(fb)
+                    continue
                 fb.dst_ip = mft.src_ip
                 fb.dst_qp = mft.src_qp
             self.switch.emit(fb, out_port, in_port)

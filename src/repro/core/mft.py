@@ -50,7 +50,19 @@ class PathEntry:
 
 
 class Mft:
-    """Per-group forwarding + feedback state on one switch."""
+    """Per-group forwarding + feedback state on one switch.
+
+    Slotted: the group-scaling experiments materialize one per group
+    per switch (10^6 of them in srmc_scaling) and the feedback engine
+    reads its fields on every ACK."""
+
+    __slots__ = (
+        "mcst_id", "n_ports", "path_index", "path_table",
+        "agg_ack_psn", "tri_port", "ack_out_port", "me_psn",
+        "src_ip", "src_qp", "cnp_counters", "cnp_window_start",
+        "cnp_max_port", "mode", "reduce_slots", "epoch",
+        "port_members", "loaded_ports", "_min_port",
+    )
 
     def __init__(self, mcst_id: int, n_ports: int) -> None:
         self.mcst_id = mcst_id
@@ -88,6 +100,8 @@ class Mft:
         # Ports whose group-load counter this MFT incremented at
         # registration time (so teardown/prune can decrement exactly).
         self.loaded_ports: Set[int] = set()
+        # Port that owned the minimum in the last min_ack_psn() call.
+        self._min_port: Optional[int] = None
 
     # -- path management -------------------------------------------------------
 
@@ -136,7 +150,7 @@ class Mft:
                 self.path_index[p] = i - 1
         if self.tri_port == port:
             self.tri_port = None
-        if getattr(self, "_min_port", None) == port:
+        if self._min_port == port:
             self._min_port = None
         if self.cnp_max_port == port:
             self.cnp_max_port = None
@@ -178,7 +192,7 @@ class Mft:
     @property
     def min_port(self) -> Optional[int]:
         """Port that owned the minimum in the last :meth:`min_ack_psn` call."""
-        return getattr(self, "_min_port", None)
+        return self._min_port
 
     # -- memory model (Fig. 7b / §III-D 'Bounded Memory Overhead') -----------------
 
@@ -200,6 +214,8 @@ class MftTable:
     (§V-D: 'the MFT registration process may encounter insufficient
     switch memory').
     """
+
+    __slots__ = ("n_ports", "max_groups", "_tables")
 
     def __init__(self, n_ports: int, max_groups: Optional[int] = None) -> None:
         self.n_ports = n_ports

@@ -250,7 +250,8 @@ class Comparison:
 def compare(current: Dict[str, Any], baseline: Dict[str, Any],
             tolerances: Optional[Dict[str, Any]] = None, *,
             check_events: bool = False,
-            max_wall_drift: Optional[float] = None) -> Comparison:
+            max_wall_drift: Optional[float] = None,
+            min_events_per_sec: Optional[Dict[str, float]] = None) -> Comparison:
     """Diff ``current`` against ``baseline`` metric-by-metric.
 
     Every baseline metric must exist in ``current`` and sit within its
@@ -268,6 +269,15 @@ def compare(current: Dict[str, Any], baseline: Dict[str, Any],
       at most this fraction (one-sided: getting faster never fails).
       Catches accidental hot-path regressions, e.g. an observer bus
       publication that stopped being branch-guarded.
+    * ``min_events_per_sec`` — per-experiment absolute simulator
+      throughput floors (``{"fig11": 150000.0, ...}``) checked against
+      the *current* document only; the baseline plays no part.  An
+      experiment that is absent, was served from the result cache
+      (``events_per_sec`` is null — a cache hit measures the cache, not
+      the simulator) or runs below its floor fails.  This is the CI
+      guard that keeps the event-core optimizations from silently
+      eroding; floors are machine-dependent by nature, so they belong
+      in the CI invocation, not in the tolerance file.
     """
     comp = Comparison()
     cur_exps = current.get("experiments", {})
@@ -304,6 +314,22 @@ def compare(current: Dict[str, Any], baseline: Dict[str, Any],
                 elif delta.rel_delta > delta.rel_tol:
                     delta.status = "regressed"
                 comp.deltas.append(delta)
+    if min_events_per_sec:
+        for exp_id in sorted(min_events_per_sec):
+            floor = float(min_events_per_sec[exp_id])
+            name = f"{exp_id}.events_per_sec"
+            entry = cur_exps.get(exp_id)
+            eps = entry.get("events_per_sec") if entry is not None else None
+            delta = MetricDelta(name=name, baseline=floor,
+                                current=None if eps is None else float(eps),
+                                rel_tol=0.0)
+            if eps is None:
+                # Absent experiment, or a cached entry: neither measured
+                # the simulator, so the floor cannot be attested.
+                delta.status = "missing"
+            elif float(eps) < floor:
+                delta.status = "regressed"  # one-sided: faster is fine
+            comp.deltas.append(delta)
     base_eps = baseline.get("events_per_sec")
     cur_eps = current.get("events_per_sec")
     if base_eps and cur_eps:

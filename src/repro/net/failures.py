@@ -72,10 +72,8 @@ class FailureInjector:
             raise TopologyError("link was not failed by this injector")
         dev_b, port_b = self._severed.pop(key)
         self._severed.pop((id(dev_b), port_b), None)
-        dev_a.ports[port_a].peer_device = dev_b
-        dev_a.ports[port_a].peer_port = port_b
-        dev_b.ports[port_b].peer_device = dev_a
-        dev_b.ports[port_b].peer_port = port_a
+        dev_a.ports[port_a].connect(dev_b, port_b)
+        dev_b.ports[port_b].connect(dev_a, port_a)
 
     def fail_host_link(self, ip: int, *, at: Optional[float] = None) -> None:
         """Cut a host off the fabric (its leaf-switch access link)."""

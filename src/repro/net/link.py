@@ -17,7 +17,7 @@ from repro.errors import TopologyError
 __all__ = ["connect", "LinkInfo"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LinkInfo:
     """Descriptive record of one bidirectional link."""
 

@@ -24,6 +24,8 @@ from repro.net.simulator import Simulator
 
 __all__ = ["Nic"]
 
+_DATA = PacketType.DATA
+
 
 class Nic:
     """One host NIC with a single 100G port."""
@@ -60,6 +62,7 @@ class Nic:
         self.sr_encoders: Dict[int, Callable[[], object]] = {}
         self.rx_packets = 0
         self.rx_unmatched = 0
+        self._pkt_pool = sim.pools.pkt
 
     # -- QP registry -----------------------------------------------------------
 
@@ -83,10 +86,13 @@ class Nic:
 
     def send(self, pkt: Packet) -> bool:
         """Queue a packet on the NIC egress (honours PFC pause)."""
-        if self.sr_encoders and pkt.ptype == PacketType.DATA:
+        if self.sr_encoders and pkt.ptype == _DATA:
             enc = self.sr_encoders.get(pkt.dst_ip)
             if enc is not None:
                 pkt.sr = enc()
+                # The header changes the wire size; refresh the memo in
+                # place so the per-hop paths keep reading `_ws` directly.
+                pkt._ws = pkt._wire_size()
         return self.ports[0].enqueue(pkt, -1)
 
     @property
@@ -95,21 +101,39 @@ class Nic:
 
     def receive(self, pkt: Packet, in_port: int) -> None:
         ptype = pkt.ptype
+        if ptype == _DATA:
+            # The overwhelmingly common arrival; checked first.  DATA
+            # ownership transfers to the QP (IRN may buffer it) and is
+            # released inside the transport's delivery paths.
+            self.rx_packets += 1
+            qp = self._qps.get(pkt.dst_qp)
+            if qp is None:
+                # Commodity RNIC behaviour: silently drop packets that
+                # match no local QP (what breaks native multicast, §II-D).
+                self.rx_unmatched += 1
+                self._pkt_pool.release(pkt)
+                return
+            qp.handle_packet(pkt)
+            return
         if ptype in (PacketType.PAUSE, PacketType.RESUME):
             self.ports[0].set_paused(ptype == PacketType.PAUSE)
+            self._pkt_pool.release(pkt)
             return
         self.rx_packets += 1
         if ptype in (PacketType.MRP, PacketType.MRP_CONFIRM, PacketType.CTRL):
+            # Not recycled: control handlers may retain the packet (or
+            # its mrp/meta payload) past this call.
             if self.control_handler is not None:
                 self.control_handler(pkt)
             return
         qp = self._qps.get(pkt.dst_qp)
         if qp is None:
-            # Commodity RNIC behaviour: silently drop packets that match
-            # no local QP (this is what breaks native multicast, §II-D C1).
             self.rx_unmatched += 1
+            self._pkt_pool.release(pkt)
             return
         qp.handle_packet(pkt)
+        # Feedback (ACK/NACK/CNP) is consumed synchronously by the QP.
+        self._pkt_pool.release(pkt)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Nic {self.name} ip={self.ip}>"

@@ -62,7 +62,7 @@ class Packet:
         "pid", "ptype", "src_ip", "dst_ip", "src_qp", "dst_qp",
         "psn", "payload", "op", "msg_id", "first", "last",
         "vaddr", "rkey", "ecn", "created_at", "retransmit",
-        "mrp", "meta", "hops", "sr",
+        "mrp", "meta", "hops", "sr", "_ws",
     )
 
     def __init__(
@@ -108,12 +108,37 @@ class Packet:
         self.meta = meta
         self.sr = sr
         self.hops = 0
+        # Wire-size memo, computed eagerly: every packet is serialized at
+        # least once, so the lazy memo always paid this exact cost — and
+        # paying it here lets the per-hop paths read the ``_ws`` slot
+        # directly instead of going through the property.
+        if ptype == PacketType.DATA:
+            extra = 16 if (op == RdmaOp.WRITE and first) else 0
+            if sr is not None:
+                extra += sr.header_bytes
+            self._ws = payload + constants.HEADER_BYTES + extra
+        else:
+            self._ws = self._wire_size()
 
     # -- wire size ---------------------------------------------------------
 
     @property
     def wire_size(self) -> int:
-        """Bytes occupying the wire, headers included."""
+        """Bytes occupying the wire, headers included.
+
+        Memoized in the ``_ws`` slot (filled eagerly by ``__init__``):
+        every hop serializes the same packet (ports, rate limiters and
+        CC all ask), and nothing size-affecting mutates after creation
+        except the NIC attaching a source-route header — which refreshes
+        the memo in place.  Hot paths read ``_ws`` directly.
+        """
+        ws = self._ws
+        if ws >= 0:
+            return ws
+        self._ws = ws = self._wire_size()
+        return ws
+
+    def _wire_size(self) -> int:
         t = self.ptype
         if t == PacketType.DATA:
             extra = 16 if (self.op == RdmaOp.WRITE and self.first) else 0
@@ -138,17 +163,34 @@ class Packet:
         A fresh ``pid`` is assigned; the Cepheus duplicator then rewrites
         the addressing fields of each replica independently.
         """
-        p = Packet(
-            self.ptype, self.src_ip, self.dst_ip,
-            src_qp=self.src_qp, dst_qp=self.dst_qp, psn=self.psn,
-            payload=self.payload, op=self.op, msg_id=self.msg_id,
-            first=self.first, last=self.last, vaddr=self.vaddr,
-            rkey=self.rkey, created_at=self.created_at,
-            retransmit=self.retransmit, mrp=self.mrp, meta=self.meta,
-            sr=self.sr,
-        )
+        return self.clone_into(Packet.__new__(Packet))
+
+    def clone_into(self, p: "Packet") -> "Packet":
+        """Copy every field of ``self`` into ``p`` (fresh pid) — the
+        replication hot path shared by :meth:`clone` and the packet
+        pool's recycled-clone fast path."""
+        p.pid = next(_packet_ids)
+        p.ptype = self.ptype
+        p.src_ip = self.src_ip
+        p.dst_ip = self.dst_ip
+        p.src_qp = self.src_qp
+        p.dst_qp = self.dst_qp
+        p.psn = self.psn
+        p.payload = self.payload
+        p.op = self.op
+        p.msg_id = self.msg_id
+        p.first = self.first
+        p.last = self.last
+        p.vaddr = self.vaddr
+        p.rkey = self.rkey
         p.ecn = self.ecn
+        p.created_at = self.created_at
+        p.retransmit = self.retransmit
+        p.mrp = self.mrp
+        p.meta = self.meta
+        p.sr = self.sr
         p.hops = self.hops
+        p._ws = self._ws  # identical size-affecting fields -> same memo
         return p
 
     # -- classification helpers --------------------------------------------

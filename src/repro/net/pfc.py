@@ -57,7 +57,7 @@ class PfcManager:
         """A packet from ``in_port`` was queued at some egress."""
         if not self.enabled or in_port < 0:
             return
-        occ = self._occupancy[in_port] + pkt.wire_size
+        occ = self._occupancy[in_port] + pkt._ws
         self._occupancy[in_port] = occ
         if occ >= self.xoff_bytes and not self._pause_sent[in_port]:
             self._pause_sent[in_port] = True
@@ -68,7 +68,7 @@ class PfcManager:
         """A packet from ``in_port`` finished transmission at some egress."""
         if not self.enabled or in_port < 0:
             return
-        occ = self._occupancy[in_port] - pkt.wire_size
+        occ = self._occupancy[in_port] - pkt._ws
         if occ < 0:
             occ = 0
         self._occupancy[in_port] = occ

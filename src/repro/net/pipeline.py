@@ -103,7 +103,8 @@ class ObserverBus:
     #: Bound on the retained error log (oldest entries are discarded).
     MAX_ERRORS = 100
 
-    __slots__ = CHANNELS + ("_propagate", "errors", "dropped_errors")
+    __slots__ = CHANNELS + ("_propagate", "errors", "dropped_errors",
+                            "active_subscribers")
 
     def __init__(self) -> None:
         for channel in self.CHANNELS:
@@ -111,6 +112,9 @@ class ObserverBus:
         self._propagate: set = set()
         self.errors: List[Dict[str, Any]] = []
         self.dropped_errors = 0
+        # Maintained count of subscriptions across all channels: the
+        # packet pool's O(1) "is anyone watching?" gate.
+        self.active_subscribers = 0
 
     # -- subscription ------------------------------------------------------
 
@@ -134,6 +138,7 @@ class ObserverBus:
         subs = getattr(self, channel)
         if fn not in subs:
             setattr(self, channel, subs + (fn,))
+            self.active_subscribers += 1
         if propagate:
             self._propagate.add(fn)
         return fn
@@ -144,6 +149,7 @@ class ObserverBus:
         subs = getattr(self, channel)
         if fn in subs:
             setattr(self, channel, tuple(f for f in subs if f != fn))
+            self.active_subscribers -= 1
         self._propagate.discard(fn)
 
     def is_subscribed(self, channel: str, fn: Callable[..., None]) -> bool:
@@ -159,6 +165,7 @@ class ObserverBus:
         for channel in self.CHANNELS:
             setattr(self, channel, ())
         self._propagate.clear()
+        self.active_subscribers = 0
 
     # -- publication -------------------------------------------------------
 
@@ -238,25 +245,34 @@ class Pipeline:
     one truthiness test per :meth:`run` call.
     """
 
-    __slots__ = ("name", "stages", "bus", "_names")
+    __slots__ = ("name", "stages", "bus", "_names", "_chain", "_n")
 
     def __init__(self, stages, name: str = "", bus: Optional[ObserverBus] = None) -> None:
         self.name = name
         self.stages = list(stages)
         self.bus = bus
         self._names: Optional[List[str]] = None
+        # Stage chains are fixed at construction (nothing mutates
+        # ``stages`` afterwards), so precompute the tuple + length the
+        # fast loop binds locally — no list indexing descriptor churn.
+        self._chain: Tuple[Callable, ...] = tuple(self.stages)
+        self._n = len(self._chain)
 
     def run(self, ctx: PipelineContext, start: int = 0) -> Optional[_Verdict]:
         bus = self.bus
         if bus is not None and bus.stage:
             return self._run_observed(ctx, start, bus)
-        stages = self.stages
-        n = len(stages)
+        chain = self._chain
+        n = self._n
         i = start
         while i < n:
-            ctx.stage_index = i
-            verdict = stages[i](ctx)
+            verdict = chain[i](ctx)
             if verdict is not None:
+                # Record the verdict stage only when the chain actually
+                # halts: resume() needs the deferring stage's index, and
+                # nothing reads it mid-chain — one store per run instead
+                # of one per stage.
+                ctx.stage_index = i
                 return verdict
             i += 1
         return None

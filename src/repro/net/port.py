@@ -16,12 +16,15 @@ from __future__ import annotations
 
 import random
 from collections import deque
+from heapq import heappush
 from typing import Deque, Optional, Tuple
 
 from repro import constants
 from repro.net.packet import Packet, PacketType
 
 __all__ = ["Port", "PortStats"]
+
+_DATA = PacketType.DATA
 
 
 class PortStats:
@@ -54,7 +57,7 @@ class Port:
     """
 
     __slots__ = (
-        "device", "index", "peer_device", "peer_port",
+        "device", "sim", "index", "peer_device", "peer_port",
         "bandwidth", "propagation", "queue_capacity",
         "ecn_kmin", "ecn_kmax", "ecn_pmax",
         "_queue", "_queued_bytes", "_busy", "_paused",
@@ -75,6 +78,7 @@ class Port:
         seed: int = 0,
     ) -> None:
         self.device = device
+        self.sim = device.sim
         self.index = index
         self.peer_device = None
         self.peer_port: Optional[int] = None
@@ -85,8 +89,9 @@ class Port:
         self.ecn_kmax = ecn_kmax
         self.ecn_pmax = ecn_pmax
         # Each queue entry remembers the ingress port the packet arrived on
-        # so PFC can run per-ingress accounting on dequeue.
-        self._queue: Deque[Tuple[Packet, int]] = deque()
+        # (for PFC per-ingress accounting on dequeue) and the wire size,
+        # so the drain loop never recomputes it.
+        self._queue: Deque[Tuple[Packet, int, int]] = deque()
         self._queued_bytes = 0
         self._busy = False
         self._paused = False
@@ -139,18 +144,35 @@ class Port:
         ``in_port`` is the ingress the packet arrived on (-1 for locally
         generated packets); it feeds PFC per-ingress accounting.
         """
-        size = pkt.wire_size
+        size = pkt._ws
+        if size < 0:  # stale memo (never on the datapath): recompute
+            size = pkt.wire_size
         if self._queued_bytes + size > self.queue_capacity:
             self.stats.drops += 1
             hook = getattr(self.device, "on_drop", None)
             if hook is not None:
                 hook(pkt, self.index, "taildrop")
             return False
-        if pkt.ptype == PacketType.DATA:
+        if not self._busy and not self._paused and not self._queue:
+            # Idle transmitter: start serializing without the deque
+            # round-trip.  ECN marking is skipped because it reads the
+            # queue depth *before* append — here that depth is 0, which
+            # never exceeds kmin (and draws no RNG) on real configs.
+            if self.ecn_kmin < 0 and pkt.ptype == _DATA:
+                self._maybe_mark_ecn(pkt)  # pathological config: keep semantics
+            self._busy = True
+            sim = self.sim
+            sim._seq += 1
+            heappush(sim._heap,
+                     [sim.now + size * 8.0 / self.bandwidth, sim._seq,
+                      self._on_tx_done, (pkt, in_port, size), False])
+            return True
+        if pkt.ptype == _DATA:
             self._maybe_mark_ecn(pkt)
-        self._queue.append((pkt, in_port))
+        self._queue.append((pkt, in_port, size))
         self._queued_bytes += size
-        self._try_drain()
+        if not self._busy:
+            self._try_drain()
         return True
 
     def _maybe_mark_ecn(self, pkt: Packet) -> None:
@@ -172,28 +194,50 @@ class Port:
     def _try_drain(self) -> None:
         if self._busy or self._paused or not self._queue:
             return
-        pkt, in_port = self._queue.popleft()
-        size = pkt.wire_size
-        self._queued_bytes -= size
+        # Queue entries are (pkt, in_port, size) — exactly _on_tx_done's
+        # argument tuple, so they ride into the heap entry unrepacked.
+        entry = self._queue.popleft()
+        self._queued_bytes -= entry[2]
         self._busy = True
-        ser = size * 8.0 / self.bandwidth
-        sim = self.device.sim
-        sim.schedule(ser, self._on_tx_done, pkt, in_port)
+        sim = self.sim
+        sim._seq += 1
+        heappush(sim._heap,
+                 [sim.now + entry[2] * 8.0 / self.bandwidth, sim._seq,
+                  self._on_tx_done, entry, False])
 
-    def _on_tx_done(self, pkt: Packet, in_port: int) -> None:
-        self._busy = False
-        self.stats.tx_packets += 1
-        self.stats.tx_bytes += pkt.wire_size
-        if self.ingress_of is not None and in_port >= 0:
+    def _on_tx_done(self, pkt: Packet, in_port: int, size: int) -> None:
+        stats = self.stats
+        stats.tx_packets += 1
+        stats.tx_bytes += size
+        ingress_of = self.ingress_of
+        if ingress_of is not None and in_port >= 0:
             # Tell the owning switch the packet left, so PFC per-ingress
             # occupancy can be decremented.
-            self.ingress_of(pkt, in_port)
-        if self.peer_device is not None:
+            ingress_of(pkt, in_port)
+        sim = self.sim
+        peer = self.peer_device
+        if peer is not None:
+            # peer.receive is looked up per delivery, NOT cached at
+            # connect time: fault injectors and tests swap it on the
+            # instance (black-holed switches, lossy wrappers).
             pkt.hops += 1
-            self.device.sim.schedule(
-                self.propagation, self.peer_device.receive, pkt, self.peer_port
-            )
-        self._try_drain()
+            sim._seq += 1
+            heappush(sim._heap,
+                     [sim.now + self.propagation, sim._seq,
+                      peer.receive, (pkt, self.peer_port), False])
+        # Inline drain: same delivery-then-next-transmission seq order as
+        # the _try_drain call this replaces; _busy stays True across
+        # back-to-back transmissions.
+        queue = self._queue
+        if queue and not self._paused:
+            entry = queue.popleft()
+            self._queued_bytes -= entry[2]
+            sim._seq += 1
+            heappush(sim._heap,
+                     [sim.now + entry[2] * 8.0 / self.bandwidth, sim._seq,
+                      self._on_tx_done, entry, False])
+        else:
+            self._busy = False
 
     # -- out-of-band control (PFC frames) ------------------------------------
 
@@ -201,11 +245,14 @@ class Port:
         """Deliver a link-local control frame, bypassing the data queue."""
         if self.peer_device is None:
             return
-        self.stats.tx_packets += 1
-        self.stats.tx_bytes += pkt.wire_size
-        self.device.sim.schedule(
-            self.propagation, self.peer_device.receive, pkt, self.peer_port
-        )
+        stats = self.stats
+        stats.tx_packets += 1
+        stats.tx_bytes += pkt.wire_size
+        sim = self.sim
+        sim._seq += 1
+        heappush(sim._heap,
+                 [sim.now + self.propagation, sim._seq,
+                  self.peer_device.receive, (pkt, self.peer_port), False])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         dev = getattr(self.device, "name", self.device)

@@ -3,43 +3,77 @@
 The whole reproduction — switches, links, NICs, RoCE engines, the
 Cepheus accelerator and the applications — is driven by one
 :class:`Simulator`: a virtual clock plus a binary-heap event queue.
-Events are plain ``(time, seq, callback, args)`` tuples; ``seq`` breaks
-ties so simultaneous events run in scheduling order, which keeps runs
-deterministic.
+Heap entries are plain ``[time, seq, fn, args, done]`` lists; ``seq``
+breaks ties so simultaneous events run in scheduling order, which keeps
+runs deterministic, and ``done`` is the lazy-delete tombstone (set by
+cancellation *and* by execution, so a consumed entry can never be
+resurrected).
 
 The kernel is deliberately minimal and allocation-light because the
-packet-level experiments schedule millions of events.
+packet-level experiments schedule millions of events.  Three API tiers
+trade convenience for allocations:
+
+- :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` return an
+  :class:`Event` handle supporting cancellation — use when the caller
+  may need to cancel.
+- :meth:`Simulator.post` / :meth:`Simulator.post_at` are the
+  fire-and-forget fast path: no handle is allocated.  The datapath's
+  per-hop deliveries use these.
+- :meth:`Simulator.reschedule` re-arms an existing handle (tombstone
+  the old heap entry, push a fresh one) — the retransmission-timer
+  pattern, without churning handle objects.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional
 
 from repro.net.pipeline import ObserverBus
+from repro.net.pool import SimPools
 
 __all__ = ["Simulator", "Event"]
+
+# Heap-entry field indices (entries are lists, not objects, so the run
+# loop touches no descriptors).  _DONE doubles as the lazy-delete
+# tombstone and the "already executed" marker.
+_TIME, _SEQ, _FN, _ARGS, _DONE = range(5)
 
 
 class Event:
     """Handle returned by :meth:`Simulator.schedule`; supports cancellation.
 
-    Cancellation is lazy: the entry stays in the heap but is skipped when
-    popped.  This is the standard approach for timer-heavy protocols
-    (retransmission timers are re-armed far more often than they fire).
+    Cancellation is lazy: the entry stays in the heap but is skipped
+    when popped.  This is the standard approach for timer-heavy
+    protocols (retransmission timers are re-armed far more often than
+    they fire).
+
+    The handle is a thin pointer to the current heap entry.  After
+    :meth:`Simulator.reschedule` the handle points at the *new* entry —
+    the old one stays tombstoned in the heap and can never fire again,
+    even though the handle it once belonged to is live.
     """
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    __slots__ = ("_entry",)
 
-    def __init__(self, time: float, fn: Callable[..., None], args: Tuple[Any, ...]):
-        self.time = time
-        self.fn = fn
-        self.args = args
-        self.cancelled = False
+    def __init__(self, entry: list):
+        self._entry = entry
+
+    @property
+    def time(self) -> float:
+        """Virtual time this event is (or was) due to fire."""
+        return self._entry[_TIME]
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the entry is dead — cancelled *or* already fired."""
+        return self._entry[_DONE]
 
     def cancel(self) -> None:
-        """Prevent the event from running; safe to call repeatedly."""
-        self.cancelled = True
+        """Prevent the event from running; safe to call repeatedly,
+        including after the event has fired (no-op) and from inside the
+        handler of another event popped at the same timestamp."""
+        self._entry[_DONE] = True
 
 
 class Simulator:
@@ -66,7 +100,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[Tuple[float, int, Event]] = []
+        self._heap: List[list] = []
         self._seq: int = 0
         self._events_run: int = 0
         # The single observer bus every datapath component of this
@@ -75,6 +109,10 @@ class Simulator:
         # InvariantMonitor subscribes to it for sampled online sweeps.
         # An empty channel keeps the hot loop branch-cheap.
         self.bus = ObserverBus()
+        # Free-list pools for the per-event hot objects (see
+        # repro.net.pool for the lifecycle contract; packet recycling
+        # self-disables while the bus has subscribers).
+        self.pools = SimPools(self.bus)
 
     # -- scheduling --------------------------------------------------------
 
@@ -82,15 +120,55 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self.now + delay, fn, *args)
+        self._seq += 1
+        entry = [self.now + delay, self._seq, fn, args, False]
+        heapq.heappush(self._heap, entry)
+        return Event(entry)
 
     def schedule_at(self, when: float, fn: Callable[..., None], *args: Any) -> Event:
         """Run ``fn(*args)`` at absolute virtual time ``when``."""
         if when < self.now:
             raise ValueError(f"cannot schedule at {when} < now {self.now}")
-        ev = Event(when, fn, args)
         self._seq += 1
-        heapq.heappush(self._heap, (when, self._seq, ev))
+        entry = [when, self._seq, fn, args, False]
+        heapq.heappush(self._heap, entry)
+        return Event(entry)
+
+    def post(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no :class:`Event` handle is
+        allocated.  Identical ordering semantics (consumes one seq)."""
+        when = self.now + delay
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, [when, self._seq, fn, args, False])
+
+    def post_at(self, when: float, fn: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule_at`; no handle allocated."""
+        if when < self.now:
+            raise ValueError(f"cannot schedule at {when} < now {self.now}")
+        self._seq += 1
+        heapq.heappush(self._heap, [when, self._seq, fn, args, False])
+
+    def reschedule(self, ev: Event, delay: float) -> Event:
+        """Re-arm ``ev`` to fire after ``delay`` from now.
+
+        Equivalent to ``ev.cancel()`` followed by re-scheduling the same
+        callback — one seq is consumed, exactly like the cancel+schedule
+        idiom it replaces, so event ordering is unchanged.  The handle
+        is repointed at the fresh heap entry; the old entry stays
+        tombstoned (it is never "un-cancelled", which would resurrect a
+        lazily-deleted entry still sitting in the heap).  Safe on
+        handles whose event already fired or was cancelled.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        old = ev._entry
+        old[_DONE] = True
+        self._seq += 1
+        entry = [self.now + delay, self._seq, old[_FN], old[_ARGS], False]
+        heapq.heappush(self._heap, entry)
+        ev._entry = entry
         return ev
 
     # -- execution ---------------------------------------------------------
@@ -116,22 +194,43 @@ class Simulator:
         """
         heap = self._heap
         bus = self.bus
+        pop = heapq.heappop
         executed = 0
         try:
+            if until is None and max_events is None:
+                # Unbounded drain: the datapath hot loop.  Pop first,
+                # skip tombstones, run.  No peek, no bound checks; the
+                # empty-heap IndexError from pop replaces a per-iteration
+                # truthiness test (zero-cost until it fires once).
+                while True:
+                    try:
+                        entry = pop(heap)
+                    except IndexError:
+                        return executed
+                    if entry[4]:
+                        continue
+                    entry[4] = True
+                    self.now = entry[0]
+                    if bus.event:
+                        bus.publish("event", entry[0])
+                    entry[2](*entry[3])
+                    executed += 1
             while heap:
-                when, _, ev = heap[0]
+                entry = heap[0]
+                if entry[4]:
+                    pop(heap)
+                    continue
+                when = entry[0]
                 if until is not None and when > until:
                     break
-                if ev.cancelled:
-                    heapq.heappop(heap)
-                    continue
                 if max_events is not None and executed >= max_events:
                     raise RuntimeError(f"exceeded max_events={max_events}")
-                heapq.heappop(heap)
+                pop(heap)
+                entry[4] = True
                 self.now = when
                 if bus.event:
                     bus.publish("event", when)
-                ev.fn(*ev.args)
+                entry[2](*entry[3])
                 executed += 1
             if until is not None and self.now < until:
                 self.now = until
@@ -146,9 +245,10 @@ class Simulator:
 
     def peek_next_time(self) -> Optional[float]:
         """Time of the earliest pending (non-cancelled) event, or None."""
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0][0] if self._heap else None
+        heap = self._heap
+        while heap and heap[0][4]:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     @property
     def pending(self) -> int:

@@ -35,6 +35,14 @@ __all__ = ["RoceConfig", "RoceQP"]
 
 _msg_ids = itertools.count(1)
 
+# Hot-path constants: one global load instead of a class-attribute chain
+# per packet (handle_packet runs once per wire arrival).
+_DATA = PacketType.DATA
+_ACK = PacketType.ACK
+_NACK = PacketType.NACK
+_CNP = PacketType.CNP
+_RTS = QpStateName.RTS
+
 
 @dataclass
 class RoceConfig:
@@ -106,6 +114,7 @@ class RoceQP:
         self._retx_queue: Deque[int] = deque()
         self._retx_last: Dict[int, float] = {}
         self.on_message: Optional[Callable[[int, int, float, Any], None]] = None
+        self._pkt_pool = sim.pools.pkt
         # The simulation-wide observer bus: "qp_send" fires on every DATA
         # transmission, "deliver" on every in-order delivery.  QPs created
         # after a monitor subscribes are covered automatically because the
@@ -201,15 +210,26 @@ class RoceQP:
         )
 
     def _pump(self) -> None:
-        if self._tx_event is not None or not self._can_send():
+        # _can_send() inlined: this runs after every transmission and
+        # every ACK, so the call overhead shows up in every benchmark.
+        if (self._tx_event is not None
+                or not self._send_msgs or self.state is not _RTS):
             return
-        delay = self._next_allowed_tx - self.sim.now
-        self._tx_event = self.sim.schedule(max(delay, 0.0), self._tx_one)
+        if not self._retx_queue and (
+                self.snd_nxt >= self.sq_psn
+                or self.snd_nxt - self.snd_una >= self.cfg.max_outstanding):
+            return
+        sim = self.sim
+        delay = self._next_allowed_tx - sim.now
+        if delay < 0.0:
+            delay = 0.0
+        self._tx_event = sim.schedule(delay, self._tx_one)
 
     def _tx_one(self) -> None:
         self._tx_event = None
-        if not self._can_send():
+        if not self._send_msgs or self.state is not _RTS:
             return
+        sim = self.sim
         if self._retx_queue:
             # IRN selective repeat: lost PSNs jump the line.
             psn = self._retx_queue.popleft()
@@ -217,31 +237,44 @@ class RoceQP:
                 self._pump()
                 return
             pkt = self._packet_for(psn)
-            if self.bus.qp_send:
-                self.bus.publish("qp_send", self, pkt)
+            bus = self.bus
+            if bus.qp_send:
+                bus.publish("qp_send", self, pkt)
             self.nic.send(pkt)
+            ws = pkt._ws  # read after send: the SR header adds bytes
             self.tx_data_packets += 1
             self.retransmitted_packets += 1
-            self.cc.on_bytes_sent(pkt.wire_size)
-            rate = min(self.cc.rate, self.cfg.line_rate)
-            self._next_allowed_tx = self.sim.now + pkt.wire_size * 8.0 / rate
+            self.cc.on_bytes_sent(ws)
+            rate = self.cc.rate
+            line = self.cfg.line_rate
+            if rate > line:
+                rate = line
+            self._next_allowed_tx = sim.now + ws * 8.0 / rate
             self._arm_rto()
             self._pump()
             return
         psn = self.snd_nxt
+        if (psn >= self.sq_psn
+                or psn - self.snd_una >= self.cfg.max_outstanding):
+            return  # _can_send()'s window checks, inlined
         pkt = self._packet_for(psn)
-        if self.bus.qp_send:
-            self.bus.publish("qp_send", self, pkt)
+        bus = self.bus
+        if bus.qp_send:
+            bus.publish("qp_send", self, pkt)
         self.nic.send(pkt)
+        ws = pkt._ws  # read after send: the SR header adds bytes
         self.tx_data_packets += 1
         if pkt.retransmit:
             self.retransmitted_packets += 1
-        self.cc.on_bytes_sent(pkt.wire_size)
-        rate = min(self.cc.rate, self.cfg.line_rate)
-        self._next_allowed_tx = self.sim.now + pkt.wire_size * 8.0 / rate
-        self.snd_nxt += 1
-        if self.snd_nxt > self._max_sent:
-            self._max_sent = self.snd_nxt
+        self.cc.on_bytes_sent(ws)
+        rate = self.cc.rate
+        line = self.cfg.line_rate
+        if rate > line:
+            rate = line
+        self._next_allowed_tx = sim.now + ws * 8.0 / rate
+        self.snd_nxt = nxt = psn + 1
+        if nxt > self._max_sent:
+            self._max_sent = nxt
         if pkt.last and not pkt.retransmit:
             # "Local send done": the WQE's last byte hit the wire.  MPI
             # implementations chain the next blocking send off this, not
@@ -250,7 +283,7 @@ class RoceQP:
             msg = self._msg_containing(psn)
             if msg.on_sent is not None and not msg.sent_notified:
                 msg.sent_notified = True
-                msg.on_sent(msg.msg_id, self.sim.now)
+                msg.on_sent(msg.msg_id, sim.now)
         self._arm_rto()
         self._pump()
 
@@ -264,15 +297,12 @@ class RoceQP:
             # Test-only fault injection: corrupt the wire PSN while the
             # send-queue state keeps the true sequence (see qp.psn_tx_hook).
             wire_psn = qp_state.psn_tx_hook(self, psn)
-        return Packet(
-            PacketType.DATA, self.nic.ip, self.dst_ip,
-            src_qp=self.qpn, dst_qp=self.dst_qp, psn=wire_psn,
-            payload=payload, op=msg.op, msg_id=msg.msg_id,
-            first=(psn == msg.first_psn), last=(psn == msg.last_psn),
-            vaddr=msg.vaddr + offset, rkey=msg.rkey,
-            created_at=self.sim.now,
-            retransmit=(psn < self._max_sent),
-            meta=msg.meta,
+        return self._pkt_pool.acquire_data(
+            self.nic.ip, self.dst_ip, self.qpn, self.dst_qp, wire_psn,
+            payload, msg.op, msg.msg_id,
+            psn == msg.first_psn, psn == msg.last_psn,
+            msg.vaddr + offset, msg.rkey, self.sim.now,
+            psn < self._max_sent, msg.meta,
         )
 
     def _msg_containing(self, psn: int) -> SendMessage:
@@ -284,9 +314,13 @@ class RoceQP:
     # -- retransmission timer -------------------------------------------------
 
     def _arm_rto(self) -> None:
-        if self._rto_event is not None:
-            self._rto_event.cancel()
-        self._rto_event = self.sim.schedule(self.cfg.rto, self._on_rto)
+        ev = self._rto_event
+        if ev is not None:
+            # Re-arm in place: tombstone the old heap entry, push a
+            # fresh one — no handle churn on the hottest timer path.
+            self.sim.reschedule(ev, self.cfg.rto)
+        else:
+            self._rto_event = self.sim.schedule(self.cfg.rto, self._on_rto)
 
     def _cancel_rto(self) -> None:
         if self._rto_event is not None:
@@ -316,13 +350,13 @@ class RoceQP:
 
     def handle_packet(self, pkt: Packet) -> None:
         t = pkt.ptype
-        if t == PacketType.DATA:
+        if t == _DATA:
             self._handle_data(pkt)
-        elif t == PacketType.ACK:
+        elif t == _ACK:
             self._handle_ack(pkt)
-        elif t == PacketType.NACK:
+        elif t == _NACK:
             self._handle_nack(pkt)
-        elif t == PacketType.CNP:
+        elif t == _CNP:
             self.cc.on_cnp()
 
     # -- responder side ----------------------------------------------------
@@ -330,12 +364,14 @@ class RoceQP:
     def _handle_data(self, pkt: Packet) -> None:
         if pkt.ecn:
             self._maybe_send_cnp()
+        pool = self._pkt_pool
         if pkt.psn == self.rq_psn:
             self._nack_pending = False
             self.rq_psn += 1
             self._deliver(pkt)
             self._inorder_since_ack += 1
             force_ack = pkt.last
+            pool.release(pkt)  # delivered: consumers keep meta, not pkt
             # IRN: the gap just filled — drain the buffered run.
             while self._ooo_buffer and self.rq_psn in self._ooo_buffer:
                 buffered = self._ooo_buffer.pop(self.rq_psn)
@@ -343,23 +379,28 @@ class RoceQP:
                 self._deliver(buffered)
                 self._inorder_since_ack += 1
                 force_ack = force_ack or buffered.last
+                pool.release(buffered)
             if force_ack or self._inorder_since_ack >= self.cfg.ack_coalesce:
                 self._send_ack()
         elif pkt.psn < self.rq_psn:
             # Duplicate (e.g. go-back-N overshoot, or an IRN retransmit
             # another group member needed): re-ack, never re-deliver.
             self._send_ack()
+            pool.release(pkt)
         elif self.cfg.retransmit_mode == "irn":
             # Selective repeat: buffer out of order, NACK the gap head on
             # every arrival (the sender dedupes retransmits).
             if pkt.psn not in self._ooo_buffer:
-                self._ooo_buffer[pkt.psn] = pkt
+                self._ooo_buffer[pkt.psn] = pkt  # retained: do NOT recycle
+            else:
+                pool.release(pkt)  # duplicate of an already-buffered PSN
             self._send_nack()
         else:
             # Sequence gap: one NACK per go-back-N round (CX-5 behaviour).
             if not self._nack_pending:
                 self._nack_pending = True
                 self._send_nack()
+            pool.release(pkt)
 
     def _deliver(self, pkt: Packet) -> None:
         if self.bus.deliver:
@@ -385,20 +426,16 @@ class RoceQP:
     def _send_ack(self) -> None:
         self._inorder_since_ack = 0
         self.acks_sent += 1
-        ack = Packet(
-            PacketType.ACK, self.nic.ip, self.dst_ip,
-            src_qp=self.qpn, dst_qp=self.dst_qp, psn=self.rq_psn - 1,
-            created_at=self.sim.now,
-        )
+        ack = self._pkt_pool.acquire_fb(
+            _ACK, self.nic.ip, self.dst_ip,
+            self.qpn, self.dst_qp, self.rq_psn - 1, self.sim.now)
         self.nic.send(ack)
 
     def _send_nack(self) -> None:
         self.nacks_sent += 1
-        nack = Packet(
-            PacketType.NACK, self.nic.ip, self.dst_ip,
-            src_qp=self.qpn, dst_qp=self.dst_qp, psn=self.rq_psn,
-            created_at=self.sim.now,
-        )
+        nack = self._pkt_pool.acquire_fb(
+            _NACK, self.nic.ip, self.dst_ip,
+            self.qpn, self.dst_qp, self.rq_psn, self.sim.now)
         self.nic.send(nack)
 
     def _maybe_send_cnp(self) -> None:
@@ -407,10 +444,9 @@ class RoceQP:
             return
         self._last_cnp_time = now
         self.cnps_sent += 1
-        cnp = Packet(
-            PacketType.CNP, self.nic.ip, self.dst_ip,
-            src_qp=self.qpn, dst_qp=self.dst_qp, created_at=now,
-        )
+        cnp = self._pkt_pool.acquire_fb(
+            _CNP, self.nic.ip, self.dst_ip,
+            self.qpn, self.dst_qp, 0, now)
         self.nic.send(cnp)
 
     # -- requester side (feedback processing) ----------------------------------

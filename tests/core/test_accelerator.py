@@ -84,22 +84,25 @@ class TestBridging:
         """Connection bridging (Fig. 4): dstIP/dstQP rewritten per
         receiver, srcIP becomes the McstID."""
         group, qps = _registered_group(testbed)
+        # Snapshot header fields at interception time: the packet pool
+        # recycles consumed packets, so retaining live Packet objects
+        # across events would observe a later reincarnation.
         seen = {}
         for ip in (2, 3, 4):
             orig = qps[ip].handle_packet
 
             def spy(pkt, _ip=ip, _orig=orig):
-                seen.setdefault(_ip, pkt)
+                seen.setdefault(_ip, (pkt.dst_ip, pkt.dst_qp, pkt.src_ip))
                 _orig(pkt)
 
             qps[ip].handle_packet = spy
         qps[1].post_send(100)
         testbed.run()
         for ip in (2, 3, 4):
-            pkt = seen[ip]
-            assert pkt.dst_ip == ip
-            assert pkt.dst_qp == qps[ip].qpn
-            assert pkt.src_ip == group.mcst_id
+            dst_ip, dst_qp, src_ip = seen[ip]
+            assert dst_ip == ip
+            assert dst_qp == qps[ip].qpn
+            assert src_ip == group.mcst_id
 
     def test_write_reth_rewritten_per_receiver(self, testbed):
         mrs = {ip: testbed.ctx(ip).reg_mr(1 << 20) for ip in (2, 3, 4)}

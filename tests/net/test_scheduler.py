@@ -1,0 +1,244 @@
+"""Property tests for the lazy-delete heap scheduler.
+
+The simulator's event core (repro.net.simulator) was rewritten around
+plain-list heap entries with lazy deletion; these tests pin its
+semantics against an *independent reference model* — a sorted list with
+eager deletion — across randomized workloads of schedule / post /
+cancel / reschedule, plus targeted regressions for the hazards lazy
+deletion introduces (resurrection via reschedule, cancel-during-
+dispatch of an already-popped entry).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.net.simulator import Simulator
+
+SEEDS = [0, 1, 7, 42, 1337, 90210]
+
+
+class ReferenceScheduler:
+    """Eager-delete sorted-list model of the Simulator contract.
+
+    Entries are (time, seq, fn, args); cancellation removes the record
+    outright, rescheduling removes + reinserts with a fresh seq.  The
+    executed trace of (time, token) pairs is the comparison surface.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._seq = 0
+        self._entries = []  # list of [when, seq, token, alive]
+
+    def schedule(self, delay, token):
+        self._seq += 1
+        rec = [self.now + delay, self._seq, token, True]
+        self._entries.append(rec)
+        return rec
+
+    def cancel(self, rec):
+        rec[3] = False
+
+    def reschedule(self, rec, delay):
+        rec[3] = False
+        self._seq += 1
+        new = [self.now + delay, self._seq, rec[2], True]
+        self._entries.append(new)
+        return new
+
+    def run(self):
+        trace = []
+        while True:
+            live = [r for r in self._entries if r[3]]
+            if not live:
+                break
+            rec = min(live, key=lambda r: (r[0], r[1]))
+            rec[3] = False
+            self.now = rec[0]
+            trace.append((rec[0], rec[2]))
+        return trace
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_random_schedule_cancel_reschedule_matches_reference(seed):
+    """Random mixed workloads: the heap scheduler's executed trace is
+    identical (order, times, tokens) to the eager-delete model's."""
+    rng = random.Random(seed)
+    sim = Simulator()
+    ref = ReferenceScheduler()
+    trace = []
+
+    handles = []  # (sim Event, ref record)
+    for token in range(200):
+        delay = rng.uniform(0.0, 1e-3)
+        roll = rng.random()
+        if roll < 0.5:
+            ev = sim.schedule(delay, lambda t=token: trace.append((sim.now, t)))
+            rec = ref.schedule(delay, token)
+            handles.append((ev, rec))
+        else:
+            # post(): fire-and-forget — same ordering, no handle.
+            sim.post(delay, lambda t=token: trace.append((sim.now, t)))
+            ref.schedule(delay, token)
+        # Randomly cancel or re-arm one of the live handles.
+        if handles and rng.random() < 0.3:
+            i = rng.randrange(len(handles))
+            ev, rec = handles[i]
+            if rng.random() < 0.5:
+                ev.cancel()
+                ref.cancel(rec)
+                handles.pop(i)
+            else:
+                d2 = rng.uniform(0.0, 1e-3)
+                sim.reschedule(ev, d2)
+                handles[i] = (ev, ref.reschedule(rec, d2))
+
+    sim.run()
+    assert trace == ref.run()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fifo_among_equal_times(seed):
+    """Events at the same instant run in scheduling order (seq ties)."""
+    rng = random.Random(seed)
+    sim = Simulator()
+    fired = []
+    times = [rng.choice([0.0, 1e-6, 2e-6]) for _ in range(64)]
+    for i, t in enumerate(times):
+        sim.post(t, fired.append, i)
+    sim.run()
+    expected = [i for _, i in sorted(
+        ((t, i) for i, t in enumerate(times)), key=lambda p: (p[0], p[1]))]
+    assert fired == expected
+
+
+def test_cancel_then_reschedule_same_handle_fires_once():
+    """A cancelled handle can be re-armed; only the new entry fires."""
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(1e-6, fired.append, "x")
+    ev.cancel()
+    sim.reschedule(ev, 5e-6)
+    sim.run()
+    assert fired == ["x"]
+    assert sim.now == pytest.approx(5e-6)
+
+
+def test_reschedule_does_not_resurrect_old_entry():
+    """The old heap entry stays tombstoned after reschedule — the event
+    fires exactly once, at the *new* time, never also at the old one."""
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(1e-6, lambda: fired.append(sim.now))
+    sim.reschedule(ev, 9e-6)
+    sim.run()
+    assert fired == [pytest.approx(9e-6)]
+
+
+def test_reschedule_after_fire_pushes_fresh_entry():
+    """Re-arming a handle whose event already executed schedules a new
+    firing (the RTO re-arm pattern after a timeout fired)."""
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(1e-6, lambda: fired.append(sim.now))
+    sim.run()
+    sim.reschedule(ev, 1e-6)
+    sim.run()
+    assert fired == [pytest.approx(1e-6), pytest.approx(2e-6)]
+
+
+class TestCancelDuringDispatch:
+    """Regression: cancelling an event from inside a handler running at
+    the same timestamp.  With lazy deletion the victim entry may already
+    be heap-popped (or about to be) when the cancel lands; it must still
+    never execute, and the run loop must not corrupt the heap."""
+
+    def test_cancel_same_time_sibling_from_handler(self):
+        sim = Simulator()
+        fired = []
+        ev_b = [None]
+
+        def a():
+            fired.append("a")
+            ev_b[0].cancel()  # b sits at the same timestamp, later seq
+
+        sim.schedule(1e-6, a)
+        ev_b[0] = sim.schedule(1e-6, lambda: fired.append("b"))
+        sim.schedule(1e-6, lambda: fired.append("c"))
+        n = sim.run()
+        assert fired == ["a", "c"]
+        assert n == 2
+
+    def test_cancel_already_fired_event_is_noop(self):
+        """Cancelling from a later handler an event that already ran at
+        the same timestamp: no error, no double-count, no resurrection."""
+        sim = Simulator()
+        fired = []
+        ev_a = sim.schedule(1e-6, lambda: fired.append("a"))
+        sim.schedule(1e-6, lambda: (fired.append("b"), ev_a.cancel()))
+        sim.run()
+        assert fired == ["a", "b"]
+        assert ev_a.cancelled  # consumed entries read as dead
+
+    def test_reschedule_during_dispatch_of_same_timestamp(self):
+        """Re-arming a same-timestamp pending event from a handler moves
+        it; the tombstoned original never fires."""
+        sim = Simulator()
+        fired = []
+        ev_b = [None]
+
+        def a():
+            fired.append(("a", sim.now))
+            sim.reschedule(ev_b[0], 4e-6)
+
+        sim.schedule(1e-6, a)
+        ev_b[0] = sim.schedule(1e-6, lambda: fired.append(("b", sim.now)))
+        sim.run()
+        assert fired == [("a", pytest.approx(1e-6)),
+                         ("b", pytest.approx(5e-6))]
+
+    def test_cancel_inside_max_events_window(self):
+        """Tombstones never count toward max_events accounting."""
+        sim = Simulator()
+        fired = []
+        evs = [sim.schedule((i + 1) * 1e-6, fired.append, i)
+               for i in range(10)]
+
+        def killer():
+            for ev in evs[5:]:
+                ev.cancel()
+
+        sim.schedule(1.5e-6, killer)
+        n = sim.run(max_events=6)  # 0..4 plus the killer
+        assert n == 6
+        assert fired == [0, 1, 2, 3, 4]
+        assert sim.run() == 0  # the rest are tombstones; nothing left
+
+
+def test_post_and_schedule_interleave_deterministically():
+    """post() consumes the same seq stream as schedule(): interleaved
+    calls at one timestamp preserve global scheduling order."""
+    sim = Simulator()
+    fired = []
+    sim.post(1e-6, fired.append, 0)
+    sim.schedule(1e-6, fired.append, 1)
+    sim.post_at(1e-6, fired.append, 2)
+    sim.schedule_at(1e-6, fired.append, 3)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+
+
+def test_validation_applies_to_all_scheduling_tiers():
+    sim = Simulator()
+    sim.post(0.0, lambda: None)
+    sim.run()
+    assert sim.now == 0.0
+    with pytest.raises(ValueError):
+        sim.post(-1e-9, lambda: None)
+    with pytest.raises(ValueError):
+        sim.post_at(-1e-9, lambda: None)
+    with pytest.raises(ValueError):
+        sim.reschedule(sim.schedule(0.0, lambda: None), -1e-9)
