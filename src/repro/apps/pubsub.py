@@ -78,8 +78,11 @@ class Topic:
         if ip == self.broker.host_ip:
             raise ConfigurationError("the broker cannot subscribe to itself")
         if ip in self.subscribers:
-            raise ConfigurationError(
-                f"{ip} already subscribes to topic {self.name!r}")
+            # Idempotent: a duplicate subscribe is a no-op.  Brokers see
+            # retried subscription requests all the time (at-least-once
+            # control planes); re-running the JOIN delta would corrupt
+            # the group's member state.
+            return
         if self.transport == "cepheus":
             self._engine.join(ip)
         else:
@@ -89,8 +92,10 @@ class Topic:
     def unsubscribe(self, ip: int) -> None:
         """Drop a subscriber from a live topic (LEAVE delta for Cepheus)."""
         if ip not in self.subscribers:
-            raise ConfigurationError(
-                f"{ip} does not subscribe to topic {self.name!r}")
+            # Idempotent: unsubscribing a non-member is a no-op (the
+            # mirror of the duplicate-subscribe rule above — retried
+            # LEAVEs must not raise or touch live member state).
+            return
         if self.transport == "cepheus":
             self._engine.leave(ip)
         else:

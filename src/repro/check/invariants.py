@@ -454,6 +454,21 @@ class InvariantMonitor:
                             self._flag("mft-member-orphan", where,
                                        f"host entry for {e.dst_ip} on port "
                                        f"{e.port} has no member-set record")
+                # The member->port reverse index must mirror port_members
+                # exactly — a stale index entry would mis-route a later
+                # LEAVE/PRUNE to the wrong path.
+                flat = {ip: port for port, members in
+                        mft.port_members.items() for ip in members}
+                if mft.member_port != flat:
+                    only_idx = set(mft.member_port) - set(flat)
+                    only_set = set(flat) - set(mft.member_port)
+                    wrong = {ip for ip in set(flat) & set(mft.member_port)
+                             if flat[ip] != mft.member_port[ip]}
+                    self._flag("mft-member-index-divergence", where,
+                               f"member_port out of sync: index-only="
+                               f"{sorted(only_idx)} set-only="
+                               f"{sorted(only_set)} wrong-port="
+                               f"{sorted(wrong)}")
         if injector is not None:
             self._check_injector(injector)
 

@@ -11,6 +11,8 @@ Installed as the ``cepheus-repro`` console script::
     cepheus-repro chaos replay repro.json        # re-run a reproducer
     cepheus-repro churn run --seed 11 --trials 3 # membership-churn campaign
     cepheus-repro churn replay repro.json        # re-run a churn reproducer
+    cepheus-repro broker run --seed 11 --trials 3 --coalesce-window 5e-4
+    cepheus-repro broker replay repro.json       # re-run a broker reproducer
     cepheus-repro fuzz run --budget-trials 50 \
                   --corpus tests/harness/corpus  # coverage-guided fuzzing
     cepheus-repro fuzz replay tests/harness/corpus --jobs 4
@@ -205,6 +207,69 @@ def _cmd_churn_replay(args) -> int:
         print("churn: reproducer still failing", file=sys.stderr)
         return 3
     print("churn: reproducer no longer fails (fixed?)", file=sys.stderr)
+    return 0
+
+
+def _broker_config(args) -> "object":
+    from repro.apps.brokerfabric import BrokerFabricConfig
+
+    return BrokerFabricConfig(
+        topo=args.topo, hosts=args.hosts, k=args.k, topics=args.topics,
+        min_subscribers=args.min_subs, max_subscribers=args.max_subs,
+        msg_size=args.msg_size, publish_rate=args.publish_rate,
+        zipf_alpha=args.zipf_alpha, churn_rate=args.churn_rate,
+        cross_rate=args.cross_rate, cross_size=args.cross_size,
+        horizon=args.horizon, loss_rate=args.loss_rate,
+        coalesce_window=args.coalesce_window or None,
+    )
+
+
+def _cmd_broker_run(args) -> int:
+    import json
+
+    from repro.apps.brokerfabric import run_brokerfabric_campaign
+
+    cfg = _broker_config(args)
+    campaign = run_brokerfabric_campaign(cfg, seed=args.seed,
+                                         trials=args.trials,
+                                         shrink=not args.no_shrink)
+    doc = json.dumps(campaign, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(doc + "\n")
+    else:
+        print(doc)
+    n_fail = len(campaign["failing_trials"])
+    print(f"broker: {args.trials} trial(s), {n_fail} failing "
+          f"(seed={args.seed})", file=sys.stderr)
+    if n_fail and args.repro_dir:
+        import os
+
+        os.makedirs(args.repro_dir, exist_ok=True)
+        for rep in campaign["reproducers"]:
+            path = os.path.join(args.repro_dir,
+                                f"broker-seed{args.seed}-t{rep['trial']}.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(rep, indent=2, sort_keys=True) + "\n")
+            print(f"broker: reproducer written to {path}", file=sys.stderr)
+    return 3 if n_fail else 0
+
+
+def _cmd_broker_replay(args) -> int:
+    import json
+
+    from repro.apps.brokerfabric import replay_brokerfabric_reproducer
+
+    try:
+        record = replay_brokerfabric_reproducer(args.file)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"broker: cannot replay {args.file}: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(record, indent=2, sort_keys=True))
+    if record["failing"]:
+        print("broker: reproducer still failing", file=sys.stderr)
+        return 3
+    print("broker: reproducer no longer fails (fixed?)", file=sys.stderr)
     return 0
 
 
@@ -548,6 +613,56 @@ def build_parser() -> argparse.ArgumentParser:
         "replay", help="re-execute a churn reproducer JSON file")
     p_creplay.add_argument("file")
     p_creplay.set_defaults(fn=_cmd_churn_replay)
+
+    p_broker = sub.add_parser(
+        "broker", help="open-loop broker-fabric pub/sub campaigns "
+                       "(SLO tails, delivery amplification, MRP delta "
+                       "coalescing)")
+    broker_sub = p_broker.add_subparsers(dest="broker_command",
+                                         required=True)
+
+    p_brun = broker_sub.add_parser(
+        "run", help="run N seeded open-loop trials, shrink any failure")
+    p_brun.add_argument("--seed", type=int, default=1)
+    p_brun.add_argument("--trials", type=int, default=3)
+    p_brun.add_argument("--topo", default="fat_tree",
+                        choices=("star", "fat_tree"))
+    p_brun.add_argument("--hosts", type=int, default=16)
+    p_brun.add_argument("--k", type=int, default=4,
+                        help="fat-tree arity (fat_tree topo only)")
+    p_brun.add_argument("--topics", type=int, default=6)
+    p_brun.add_argument("--min-subs", type=int, default=3,
+                        help="initial subscribers per topic, lower bound")
+    p_brun.add_argument("--max-subs", type=int, default=8,
+                        help="initial subscribers per topic, upper bound")
+    p_brun.add_argument("--msg-size", type=int, default=65536)
+    p_brun.add_argument("--publish-rate", type=float, default=60000.0,
+                        help="Poisson publish arrivals per second")
+    p_brun.add_argument("--zipf-alpha", type=float, default=0.9,
+                        help="topic popularity skew (0 = uniform)")
+    p_brun.add_argument("--churn-rate", type=float, default=2000.0,
+                        help="subscription toggles per second")
+    p_brun.add_argument("--cross-rate", type=float, default=4000.0,
+                        help="background unicast transfers per second")
+    p_brun.add_argument("--cross-size", type=int, default=131072)
+    p_brun.add_argument("--horizon", type=float, default=0.02,
+                        help="virtual seconds of open-loop load per trial")
+    p_brun.add_argument("--coalesce-window", type=float, default=0.0,
+                        help="MRP delta coalescing window in seconds "
+                             "(0 = one delta per membership op)")
+    p_brun.add_argument("--loss-rate", type=float, default=0.0)
+    p_brun.add_argument("--no-shrink", action="store_true",
+                        help="skip reproducer minimization")
+    p_brun.add_argument("--out", default="",
+                        help="write campaign JSON here instead of stdout")
+    p_brun.add_argument("--repro-dir", default="",
+                        help="directory for per-failure reproducer files")
+    p_brun.set_defaults(fn=_cmd_broker_run)
+
+    p_breplay = broker_sub.add_parser(
+        "replay", help="re-execute a broker-fabric reproducer JSON file")
+    p_breplay.add_argument("file")
+    p_breplay.set_defaults(fn=_cmd_broker_replay)
 
     p_fuzz = sub.add_parser(
         "fuzz", help="coverage-guided protocol fuzzing with differential "

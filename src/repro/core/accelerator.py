@@ -271,6 +271,7 @@ class CepheusAccelerator:
                 mft.add_entry(PathEntry(port=port, is_host=False,
                                         ack_psn=mft.agg_ack_psn))
             mft.port_members.setdefault(port, set()).add(node.ip)
+            mft.member_port[node.ip] = port
             self.mrp_records_installed += 1
             downstream.setdefault(port, []).append(node)
 
@@ -331,8 +332,10 @@ class CepheusAccelerator:
             return  # not on this group's MDT: nothing to patch
         mft.epoch = max(mft.epoch, payload.epoch)
         for node in payload.nodes:
-            port = next((p for p, members in mft.port_members.items()
-                         if node.ip in members), None)
+            # O(1) reverse-index probe (kept in lockstep with
+            # port_members); a full scan of every port's member set is
+            # quadratic across a coalesced batch of departures.
+            port = mft.member_port.get(node.ip)
             if port is None:
                 continue  # already drained here (duplicate delta)
             at_leaf = self.switch.is_host_port(port)
@@ -352,6 +355,7 @@ class CepheusAccelerator:
             members = mft.port_members.get(port)
             if members is not None:
                 members.discard(node.ip)
+                mft.member_port.pop(node.ip, None)
                 if not members:
                     self._drop_path(mft, port)
             self.mrp_records_removed += 1
@@ -505,6 +509,7 @@ class CepheusAccelerator:
                     ack_psn=mft.agg_ack_psn,
                 ))
                 mft.port_members.setdefault(direct, set()).add(node.ip)
+                mft.member_port[node.ip] = direct
                 self.mrp_records_installed += 1
                 port = direct
             else:
@@ -563,6 +568,7 @@ class CepheusAccelerator:
                 members = mft.port_members.get(direct)
                 if members is not None:
                     members.discard(node.ip)
+                    mft.member_port.pop(node.ip, None)
                     if not members:
                         self._drop_path(mft, direct)
                 self.mrp_records_removed += 1

@@ -143,11 +143,17 @@ class CepheusFabric:
             raise RegistrationError(state["failed"])
         return set(ctl.unconfirmed)
 
-    def membership(self, group: MulticastGroup) -> MembershipManager:
-        """The (cached) runtime membership controller for ``group``."""
+    def membership(self, group: MulticastGroup,
+                   coalesce_window: Optional[float] = None
+                   ) -> MembershipManager:
+        """The (cached) runtime membership controller for ``group``.
+
+        ``coalesce_window`` only applies when the manager is first
+        created (it is a per-group policy, not per-call)."""
         mgr = self._memberships.get(group.mcst_id)
         if mgr is None or mgr.group is not group:
-            mgr = MembershipManager(self, group)
+            mgr = MembershipManager(self, group,
+                                    coalesce_window=coalesce_window)
             self._memberships[group.mcst_id] = mgr
         return mgr
 
@@ -169,6 +175,9 @@ class CepheusFabric:
         mgr = self._memberships.pop(group.mcst_id, None)
         if mgr is not None:
             mgr.stop_failure_detector()
+            if mgr._flush_ev is not None:       # unflushed coalescing batch
+                mgr._flush_ev.cancel()
+                mgr._flush_ev = None
             self.agents[group.leader_ip].detach_controller(group.mcst_id)
         if self.groups.pop(group.mcst_id, None) is not None:
             self.alloc.release(group.mcst_id)

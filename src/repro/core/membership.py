@@ -48,11 +48,15 @@ __all__ = ["MembershipDelta", "MembershipManager"]
 
 
 class MembershipDelta:
-    """One incremental MRP transaction for a single member.
+    """One incremental MRP transaction for one or more members.
 
-    Started by the :class:`MembershipManager`, which also routes the
+    Started by the :class:`MembershipManager`, which also routes each
     confirmation (from the joining host, or from the departing member's
-    leaf switch) back to :meth:`on_confirm`.
+    leaf switch) back to :meth:`on_confirm`.  In the default path every
+    delta carries exactly one member record; with coalescing enabled the
+    manager batches the ops of one window into a single multi-record
+    delta (the MRP payload's ``nodes`` list — the same wire format full
+    registration uses) that completes once *every* member has confirmed.
     """
 
     def __init__(
@@ -70,7 +74,7 @@ class MembershipDelta:
             raise GroupError(f"unknown membership op {op!r}")
         self.manager = manager
         self.op = op
-        self.record = record
+        self.records: List[MemberRecord] = [record]
         self.epoch = epoch
         self.timeout = timeout
         self.retries_left = retries
@@ -78,11 +82,27 @@ class MembershipDelta:
         self.on_done = on_done
         self.finished = False
         self.failed_reason: Optional[str] = None
+        self._confirmed: Set[int] = set()
+        self._done_cbs: List[Callable[["MembershipDelta"], None]] = []
         self._timeout_ev: Optional[Event] = None
 
     @property
+    def record(self) -> MemberRecord:
+        """First (for the single-record default path: only) member."""
+        return self.records[0]
+
+    @property
     def ip(self) -> int:
-        return self.record.ip
+        return self.records[0].ip
+
+    def ips(self) -> List[int]:
+        return [r.ip for r in self.records]
+
+    def add_record(self, record: MemberRecord, epoch: int) -> None:
+        """Coalescing: fold another member's op into this pending delta
+        (only legal before :meth:`start`)."""
+        self.records.append(record)
+        self.epoch = epoch   # batch carries the latest applied epoch
 
     def start(self) -> None:
         self._emit()
@@ -93,7 +113,7 @@ class MembershipDelta:
         nic = self.manager.nic
         payload = MrpPayload(
             mcst_id=self.manager.group.mcst_id, seq=0, total=1,
-            controller_ip=nic.ip, nodes=[self.record],
+            controller_ip=nic.ip, nodes=list(self.records),
             op=self.op, epoch=self.epoch,
         )
         pkt = Packet(
@@ -101,14 +121,22 @@ class MembershipDelta:
             payload=payload.wire_bytes(), mrp=payload,
             created_at=self.manager.sim.now,
         )
+        self.manager.mrp_deltas_sent += 1
         nic.send(pkt)
 
     # -- transaction outcome ----------------------------------------------------
 
     def on_confirm(self, member_ip: int) -> None:
-        if self.finished or member_ip != self.record.ip:
+        if self.finished or member_ip in self._confirmed:
             return
-        self._finish(None)
+        if not any(r.ip == member_ip for r in self.records):
+            return
+        self._confirmed.add(member_ip)
+        if len(self._confirmed) == len(self.records):
+            self._finish(None)
+
+    def unconfirmed(self) -> List[int]:
+        return [r.ip for r in self.records if r.ip not in self._confirmed]
 
     def on_switch_error(self, err: MrpError) -> None:
         if self.finished:
@@ -126,8 +154,10 @@ class MembershipDelta:
             self._timeout_ev = self.manager.sim.schedule(
                 self.timeout, self._on_timeout)
             return
+        missing = self.unconfirmed()
+        who = missing[0] if len(missing) == 1 else sorted(missing)
         self._finish(f"timeout waiting for {self.op} confirmation "
-                     f"from {self.record.ip}")
+                     f"from {who}")
 
     def _finish(self, reason: Optional[str]) -> None:
         self.finished = True
@@ -138,6 +168,8 @@ class MembershipDelta:
         self.manager._delta_finished(self)
         if self.on_done is not None:
             self.on_done(self)
+        for cb in self._done_cbs:
+            cb(self)
 
 
 class MembershipManager:
@@ -150,7 +182,8 @@ class MembershipManager:
     """
 
     def __init__(self, fabric, group: MulticastGroup, *,
-                 delta_timeout: float = 2e-3, delta_retries: int = 1) -> None:
+                 delta_timeout: float = 2e-3, delta_retries: int = 1,
+                 coalesce_window: Optional[float] = None) -> None:
         self.fabric = fabric
         self.group = group
         self.sim = fabric.sim
@@ -158,13 +191,28 @@ class MembershipManager:
         self.agent = fabric.agents[group.leader_ip]
         self.delta_timeout = delta_timeout
         self.delta_retries = delta_retries
+        #: Batch join/leave/prune records arriving within this many
+        #: virtual seconds into one multi-record MRP delta.  ``None``
+        #: (the default) keeps the original one-delta-per-op behavior —
+        #: and the exact packet sequence — bit for bit.
+        self.coalesce_window = coalesce_window
         self.safeguard = None                 # optional SafeguardMonitor
         self.on_delta_failure: Optional[Callable[[MembershipDelta], None]] = None
         self.pruned: Set[int] = set()
         self.delta_failures: List[Tuple[str, int, str]] = []  # (op, ip, why)
         #: (epoch, op, ip) log of applied membership changes.
         self.epoch_log: List[Tuple[int, str, int]] = []
+        #: Control-plane cost counters: MRP delta packets this controller
+        #: emitted (retries included) / confirmations received / ops
+        #: requested — the broker-fabric scenario's overhead metrics and
+        #: the coalescing-reduction report read these.
+        self.mrp_deltas_sent = 0
+        self.mrp_confirms_rx = 0
+        self.membership_ops = 0
         self._inflight: Dict[int, MembershipDelta] = {}
+        self._pending: Dict[str, MembershipDelta] = {}   # op -> unstarted delta
+        self._pending_ips: Set[int] = set()
+        self._flush_ev: Optional[Event] = None
         # failure detector state: ip -> (last AckPSN seen at leaf, strikes)
         self._fd_marks: Dict[int, "Tuple[Optional[int], int]"] = {}
         self._fd_ev: Optional[Event] = None
@@ -173,6 +221,7 @@ class MembershipManager:
     # -- control-plane dispatch (HostControlAgent protocol) --------------------
 
     def on_confirm(self, member_ip: int) -> None:
+        self.mrp_confirms_rx += 1
         delta = self._inflight.get(member_ip)
         if delta is not None:
             delta.on_confirm(member_ip)
@@ -180,17 +229,25 @@ class MembershipManager:
     def on_switch_error(self, err: MrpError) -> None:
         # A switch error names the group, not the member: fail every
         # in-flight delta (they share the MDT that just rejected state).
+        seen = set()
         for delta in list(self._inflight.values()):
-            delta.on_switch_error(err)
+            if id(delta) not in seen:
+                seen.add(id(delta))
+                delta.on_switch_error(err)
 
     def _delta_finished(self, delta: MembershipDelta) -> None:
-        self._inflight.pop(delta.record.ip, None)
+        for ip in delta.ips():
+            if self._inflight.get(ip) is delta:
+                self._inflight.pop(ip, None)
         if delta.failed_reason is not None:
-            self.delta_failures.append(
-                (delta.op, delta.record.ip, delta.failed_reason))
+            failed = delta.unconfirmed() or delta.ips()
+            for ip in failed:
+                self.delta_failures.append(
+                    (delta.op, ip, delta.failed_reason))
             if self.safeguard is not None:
+                who = failed[0] if len(failed) == 1 else sorted(failed)
                 self.safeguard.trip(
-                    f"membership {delta.op}({delta.record.ip}) failed: "
+                    f"membership {delta.op}({who}) failed: "
                     f"{delta.failed_reason}")
             if self.on_delta_failure is not None:
                 self.on_delta_failure(delta)
@@ -201,6 +258,7 @@ class MembershipManager:
         if record.ip in self._inflight:
             raise GroupError(
                 f"a membership delta for {record.ip} is already in flight")
+        self.membership_ops += 1
         self.epoch_log.append((self.group.epoch, op, record.ip))
         delta = MembershipDelta(
             self, op, record, self.group.epoch,
@@ -211,12 +269,94 @@ class MembershipManager:
         delta.start()
         return delta
 
+    # -- delta coalescing -------------------------------------------------------
+
+    def has_inflight(self, ip: int) -> bool:
+        """True while ``ip`` has a delta in flight *or* pending in an
+        unflushed coalescing batch (callers gate churn on this)."""
+        return ip in self._inflight or ip in self._pending_ips
+
+    def _dispatch(self, op: str, record: MemberRecord,
+                  on_done: Optional[Callable[[MembershipDelta], None]]
+                  ) -> MembershipDelta:
+        if self.coalesce_window is None:
+            return self._launch(op, record, on_done)
+        return self._enqueue(op, record, on_done)
+
+    def _enqueue(self, op: str, record: MemberRecord,
+                 on_done: Optional[Callable[[MembershipDelta], None]]
+                 ) -> MembershipDelta:
+        """Coalescing path: fold the op into this window's batch.
+
+        The host-side group state (membership dict, epoch, PSN sync) is
+        already applied by the caller — only the MDT patch is deferred.
+        Conflicts (any second op on a member whose delta is still
+        pending or in flight) were already rejected by the op entry
+        points *before* the host-side mutation, so every record arriving
+        here is for a distinct member.
+        """
+        if record.ip in self._pending_ips or record.ip in self._inflight:
+            raise GroupError(
+                f"a membership delta for {record.ip} is already in flight")
+        self.membership_ops += 1
+        self.epoch_log.append((self.group.epoch, op, record.ip))
+        delta = self._pending.get(op)
+        if delta is None:
+            delta = MembershipDelta(
+                self, op, record, self.group.epoch,
+                timeout=self.delta_timeout, retries=self.delta_retries,
+            )
+            self._pending[op] = delta
+        else:
+            delta.add_record(record, self.group.epoch)
+        if on_done is not None:
+            delta._done_cbs.append(on_done)
+        self._pending_ips.add(record.ip)
+        if self._flush_ev is None:
+            self._flush_ev = self.sim.schedule(
+                self.coalesce_window, self.flush_pending)
+        return delta
+
+    def flush_pending(self) -> None:
+        """Close the coalescing window: start every batched delta."""
+        if self._flush_ev is not None:
+            self._flush_ev.cancel()
+            self._flush_ev = None
+        if not self._pending:
+            return
+        batches = [self._pending[op] for op in ("join", "leave", "prune")
+                   if op in self._pending]
+        self._pending.clear()
+        self._pending_ips.clear()
+        for delta in batches:
+            if delta.op == "join":
+                # Re-base each joiner's stream position to NOW, not to
+                # enqueue time: the JOIN delta travels the same FIFO
+                # queues as data, so every packet posted after this emit
+                # reaches the leaf behind the MFT install — but packets
+                # posted *inside* the window outran it, and a stale
+                # rq_psn would make the joiner NACK the gap and drag the
+                # whole group through a retransmission rewind.
+                src_qp = self.group.members[self.group.current_source]
+                for rec in delta.records:
+                    qp = self.group.members.get(rec.ip)
+                    if qp is not None:
+                        qp.rq_psn = src_qp.sq_psn
+            for ip in delta.ips():
+                self._inflight[ip] = delta
+            delta.start()
+
     # -- join / leave / prune ---------------------------------------------------
 
     def join(self, ip: int, qp, mr: Optional["tuple[int, int]"] = None, *,
              on_done: Optional[Callable[[MembershipDelta], None]] = None
              ) -> MembershipDelta:
         """Admit ``ip`` and patch the MDT with a JOIN delta."""
+        # Reject before mutating host-side state: a raise after
+        # add_member would leave the group and the MDT diverged.
+        if self.has_inflight(ip):
+            raise GroupError(
+                f"a membership delta for {ip} is already in flight")
         self.group.add_member(ip, qp, mr)
         self._refresh_sr_header()
         # Stream-position sync (§III-E): the joiner expects the *next*
@@ -226,7 +366,7 @@ class MembershipManager:
         self._notify_epoch(qp)
         vaddr, rkey = self.group.mr_info.get(ip, (0, 0))
         record = MemberRecord(ip=ip, qpn=qp.qpn, vaddr=vaddr, rkey=rkey)
-        return self._launch("join", record, on_done)
+        return self._dispatch("join", record, on_done)
 
     def leave(self, ip: int, *,
               on_done: Optional[Callable[[MembershipDelta], None]] = None
@@ -245,6 +385,9 @@ class MembershipManager:
     def _remove(self, ip: int, op: str,
                 on_done: Optional[Callable[[MembershipDelta], None]]
                 ) -> MembershipDelta:
+        if self.has_inflight(ip):
+            raise GroupError(
+                f"a membership delta for {ip} is already in flight")
         qp = self.group.qp_of(ip)
         qpn = qp.qpn
         self.group.remove_member(ip)   # raises for leader/source/size-2
@@ -252,7 +395,7 @@ class MembershipManager:
         self._notify_epoch(qp)
         self._fd_marks.pop(ip, None)
         record = MemberRecord(ip=ip, qpn=qpn)
-        return self._launch(op, record, on_done)
+        return self._dispatch(op, record, on_done)
 
     def _refresh_sr_header(self) -> None:
         """Source-routed deployment: a membership change re-encodes the

@@ -61,7 +61,7 @@ class Mft:
         "agg_ack_psn", "tri_port", "ack_out_port", "me_psn",
         "src_ip", "src_qp", "cnp_counters", "cnp_window_start",
         "cnp_max_port", "mode", "reduce_slots", "epoch",
-        "port_members", "loaded_ports", "_min_port",
+        "port_members", "member_port", "loaded_ports", "_min_port",
     )
 
     def __init__(self, mcst_id: int, n_ports: int) -> None:
@@ -97,6 +97,13 @@ class Mft:
         # full tree recomputation.  An entry is only removed once its
         # member set drains.
         self.port_members: Dict[int, Set[int]] = {}
+        # Reverse index of port_members: member IP -> serving MDT port.
+        # LEAVE/PRUNE resolves the affected entry with one dict probe
+        # instead of scanning every port's member set — the broker-fabric
+        # scenario retires thousands of members per group per run, which
+        # made the linear scan a measurable hot path.  Kept in lockstep
+        # with port_members by the accelerator's MRP handlers.
+        self.member_port: Dict[int, int] = {}
         # Ports whose group-load counter this MFT incremented at
         # registration time (so teardown/prune can decrement exactly).
         self.loaded_ports: Set[int] = set()
@@ -157,7 +164,8 @@ class Mft:
         self.cnp_counters.pop(port, None)
         for slot in self.reduce_slots.values():
             slot.discard(port)
-        self.port_members.pop(port, None)
+        for ip in self.port_members.pop(port, ()):
+            self.member_port.pop(ip, None)
         return removed
 
     def entries(self) -> List[PathEntry]:

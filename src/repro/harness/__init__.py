@@ -11,6 +11,12 @@ from repro.harness.chaos import (ChaosConfig, Incident, Schedule,
                                  replay_reproducer, run_campaign, run_trial,
                                  shrink_schedule)
 from repro.harness.engine import EngineRun, run_engine
+from repro.harness.openloop import (ChurnOp, CrossOp, OpenLoopSchedule,
+                                    PublishOp, ZipfSampler,
+                                    generate_churn_stream,
+                                    generate_cross_stream,
+                                    generate_publish_stream, poisson_offsets,
+                                    schedule_ops)
 from repro.harness.report import (ExperimentResult, ascii_chart, fmt_size,
                                   fmt_time, format_table, ratio)
 from repro.harness.runner import ALL_EXPERIMENTS, run_experiments
@@ -27,5 +33,8 @@ __all__ = ["ExperimentResult", "fmt_size", "fmt_time", "format_table",
            "ChaosConfig", "Incident", "Schedule", "generate_schedule",
            "run_trial", "run_campaign", "shrink_schedule",
            "load_reproducer", "replay_reproducer",
+           "PublishOp", "ChurnOp", "CrossOp", "OpenLoopSchedule",
+           "ZipfSampler", "poisson_offsets", "generate_publish_stream",
+           "generate_churn_stream", "generate_cross_stream", "schedule_ops",
            "SizeDistribution", "PoissonArrivals", "MulticastWorkload",
            "QUERY", "STORAGE_REPLICATION", "DNN_UPDATES", "MIXED"]

@@ -70,6 +70,7 @@ class ChurnConfig:
     retransmit_mode: str = "gbn"
     detector_interval: float = 150e-6
     detector_misses: int = 3
+    coalesce_window: Optional[float] = None  # batch deltas per window (s)
     mutate: Optional[str] = None  # "no-detector" disables failure pruning
 
     def to_dict(self) -> Dict[str, object]:
@@ -206,7 +207,8 @@ def run_churn_trial(cfg: ChurnConfig, schedule: ChurnSchedule,
         full_records = sum(a.mrp_records_installed
                            for a in fabric.accelerators.values())
 
-        mm = fabric.membership(algo.group)
+        mm = fabric.membership(algo.group,
+                               coalesce_window=cfg.coalesce_window)
         if cfg.mutate is None:
             mm.start_failure_detector(interval=cfg.detector_interval,
                                       misses=cfg.detector_misses)
@@ -239,7 +241,7 @@ def run_churn_trial(cfg: ChurnConfig, schedule: ChurnSchedule,
             wire(ip)
 
         def do_leave(ip: int) -> None:
-            if ip in algo.group.members and ip not in mm._inflight:
+            if ip in algo.group.members and not mm.has_inflight(ip):
                 mm.leave(ip)
 
         def do_crash(ip: int) -> None:

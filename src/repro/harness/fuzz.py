@@ -30,8 +30,9 @@ schedules that exercise the most protocol surface:
   retransmission storms that deliver correct bytes late;
 * the **fuzz loop** replays the corpus first (deterministic coverage
   baseline), then spends the remaining budget mutating corpus entries
-  (incident add/remove/retime/retarget, churn op splice, offset
-  jitter, source retarget, reseed) and crossing pairs over
+  (incident add/remove/retime/retarget, churn op splice/drop/burst,
+  offset jitter, Poisson arrival replan, source retarget, reseed)
+  and crossing pairs over
   (seed-respecting: the child keeps one parent's ``trial_seed``).
   Schedules reaching new coverage join the corpus; failing schedules
   are greedily shrunk with the shared
@@ -84,6 +85,7 @@ MUTATIONS: Tuple[str, ...] = (
     "incident-add", "incident-remove", "incident-retime",
     "incident-retarget", "churn-splice", "churn-drop",
     "offset-jitter", "source-retarget", "reseed",
+    "publish-poisson", "churn-burst",
 )
 
 
@@ -354,6 +356,31 @@ def mutate_schedule(cfg: FuzzConfig, schedule: FuzzSchedule, rng,
     elif op == "reseed":
         return _sanitize(cfg, shape, replace(
             schedule, trial_seed=rng.randrange(1 << 31)))
+    elif op == "publish-poisson" and len(schedule.offsets) > 1:
+        # Open-loop arrival replan (the broker-fabric workload shape,
+        # :mod:`repro.harness.openloop`): the uniform message spread
+        # becomes exponential inter-arrivals, so mutated inputs explore
+        # Poisson bursts — back-to-back posts whose aggregates overlap.
+        mean_gap = (0.6 * h) / len(schedule.offsets)
+        offs, t = [0.0], 0.0
+        for _ in range(len(schedule.offsets) - 1):
+            t += rng.expovariate(1.0 / mean_gap)
+            offs.append(round(t, 9))
+        return _sanitize(cfg, shape, replace(schedule, offsets=tuple(offs)))
+    elif op == "churn-burst":
+        # Hot-topic churn clustering: one join+leave pair inside a
+        # coalescing-window-scale gap, so the two MRP deltas race each
+        # other (and any delta batching) instead of landing settled.
+        taken = {e.ip for e in churn}
+        joins = [ip for ip in shape.outsiders if ip not in taken]
+        leaves = [ip for ip in shape.initial[1:]
+                  if ip not in schedule.sources and ip not in taken]
+        if joins and leaves:
+            at = _draw_churn_time(cfg, schedule.offsets, rng)
+            gap = round(rng.uniform(1e-6, 5e-4), 9)
+            churn.append(ChurnEvent("join", rng.choice(joins), at))
+            churn.append(ChurnEvent("leave", rng.choice(leaves),
+                                    round(at + gap, 9)))
     return _sanitize(cfg, shape, replace(
         schedule, incidents=tuple(incidents), churn=tuple(churn)))
 

@@ -39,6 +39,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {
     "fig14": experiments.fig14_fairness,
     "churn": experiments.churn_membership,
     "srmc_scaling": experiments.srmc_scaling,
+    "brokerfabric": experiments.brokerfabric_slo,
     "abl-ack": ablations.ablation_ack_trigger,
     "abl-nack": ablations.ablation_nack_rule,
     "abl-cnp": ablations.ablation_cnp_filter,

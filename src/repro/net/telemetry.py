@@ -100,6 +100,7 @@ class LatencyStats:
             "mean": self.mean,
             "p50": _percentile_of(ordered, 50),
             "p99": _percentile_of(ordered, 99),
+            "p999": _percentile_of(ordered, 99.9),
             "max": self.max_value,
         }
 

@@ -47,6 +47,52 @@ class TestTopicManagement:
             Broker(cl, host_ip=99)
 
 
+class TestSubscriptionIdempotence:
+    """subscribe/unsubscribe are retry-safe: duplicates and removals of
+    non-members are no-ops, never corrupted member state."""
+
+    def test_duplicate_subscribe_is_a_noop(self, broker8):
+        t = broker8.create_topic("t", [2, 3], transport="cepheus")
+        t.subscribe(4)
+        before = list(t.subscribers)
+        group_before = sorted(t._engine.group.members)
+        t.subscribe(4)          # retried request: no-op
+        assert t.subscribers == before
+        assert sorted(t._engine.group.members) == group_before
+        assert t._engine.group.epoch == 1   # only the first JOIN counted
+
+    def test_unsubscribe_of_non_member_is_a_noop(self, broker8):
+        t = broker8.create_topic("t", [2, 3, 4], transport="cepheus")
+        before = list(t.subscribers)
+        t.unsubscribe(7)        # never subscribed
+        assert t.subscribers == before
+        t.unsubscribe(4)
+        t.unsubscribe(4)        # retried LEAVE: no-op
+        assert t.subscribers == [2, 3]
+
+    def test_delivery_intact_after_duplicate_ops(self, broker8):
+        t = broker8.create_topic("t", [2, 3], transport="cepheus")
+        t.subscribe(4)
+        t.subscribe(4)
+        t.unsubscribe(9)
+        r = broker8.publish("t", 64 << 10)
+        assert r.latency > 0
+        assert sorted(t._engine.group.members) == [1, 2, 3, 4]
+
+    def test_unicast_duplicate_subscribe_is_a_noop(self, broker8):
+        t = broker8.create_topic("t", [2, 3], transport="unicast")
+        t.subscribe(4)
+        t.subscribe(4)
+        assert t.subscribers == [2, 3, 4]
+        t.unsubscribe(8)
+        assert t.subscribers == [2, 3, 4]
+
+    def test_self_subscribe_still_rejected(self, broker8):
+        t = broker8.create_topic("t", [2, 3])
+        with pytest.raises(ConfigurationError):
+            t.subscribe(1)
+
+
 class TestFanoutEfficiency:
     def test_multicast_sends_each_byte_once(self, broker8):
         broker8.create_topic("mc", [2, 3, 4, 5, 6], transport="cepheus")

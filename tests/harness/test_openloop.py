@@ -1,0 +1,127 @@
+"""Open-loop load generation: distributions, schedules, the driver."""
+
+import json
+import random
+
+import pytest
+
+from repro.harness.openloop import (
+    ChurnOp, CrossOp, OpenLoopSchedule, PublishOp, ZipfSampler,
+    generate_churn_stream, generate_cross_stream, generate_publish_stream,
+    poisson_offsets, schedule_ops,
+)
+from repro.net.simulator import Simulator
+
+
+class TestPoisson:
+    def test_deterministic_per_seed(self):
+        a = poisson_offsets(random.Random(7), 1000.0, 0.1)
+        b = poisson_offsets(random.Random(7), 1000.0, 0.1)
+        assert a == b
+
+    def test_sorted_and_bounded(self):
+        offs = poisson_offsets(random.Random(3), 5000.0, 0.05)
+        assert offs == sorted(offs)
+        assert all(0.0 < t < 0.05 for t in offs)
+
+    def test_rate_is_roughly_honored(self):
+        offs = poisson_offsets(random.Random(1), 10_000.0, 0.1)
+        # Expect ~1000 arrivals; Poisson sd is ~32, allow 5 sigma.
+        assert 840 <= len(offs) <= 1160
+
+    def test_zero_rate_is_empty(self):
+        assert poisson_offsets(random.Random(1), 0.0, 1.0) == []
+
+
+class TestZipf:
+    def test_alpha_zero_is_uniform(self):
+        z = ZipfSampler(4, 0.0)
+        rng = random.Random(5)
+        counts = [0] * 4
+        for _ in range(4000):
+            counts[z.sample(rng)] += 1
+        assert min(counts) > 800
+
+    def test_skew_prefers_rank_zero(self):
+        z = ZipfSampler(16, 1.2)
+        rng = random.Random(5)
+        counts = [0] * 16
+        for _ in range(4000):
+            counts[z.sample(rng)] += 1
+        assert counts[0] > counts[8] > 0
+        assert counts[0] > 1000
+
+    def test_single_rank(self):
+        z = ZipfSampler(1, 0.9)
+        assert z.sample(random.Random(0)) == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0)
+
+
+class TestStreams:
+    def test_publish_stream_shape(self):
+        ops = generate_publish_stream(
+            random.Random(2), rate=20_000, horizon=0.01, n_topics=5,
+            zipf_alpha=0.9, size=4096)
+        assert ops
+        assert all(isinstance(o, PublishOp) for o in ops)
+        assert all(0 <= o.topic < 5 and o.size == 4096 for o in ops)
+
+    def test_churn_stream_targets(self):
+        hosts = [11, 12, 13]
+        ops = generate_churn_stream(
+            random.Random(2), rate=5000, horizon=0.01, n_topics=3,
+            hosts=hosts)
+        assert ops
+        assert all(o.ip in hosts and 0 <= o.topic < 3 for o in ops)
+
+    def test_cross_stream_distinct_endpoints(self):
+        ops = generate_cross_stream(
+            random.Random(2), rate=5000, horizon=0.01,
+            hosts=[1, 2, 3, 4], size=1024)
+        assert ops
+        assert all(o.src != o.dst for o in ops)
+
+    def test_schedule_json_round_trip(self):
+        rng = random.Random(9)
+        sched = OpenLoopSchedule(
+            trial_seed=42,
+            publishes=generate_publish_stream(
+                rng, rate=10_000, horizon=0.01, n_topics=4,
+                zipf_alpha=0.5, size=8192),
+            churn=generate_churn_stream(
+                rng, rate=2000, horizon=0.01, n_topics=4,
+                hosts=[5, 6, 7]),
+            cross=generate_cross_stream(
+                rng, rate=2000, horizon=0.01, hosts=[5, 6, 7, 8],
+                size=2048),
+        )
+        blob = json.dumps(sched.to_dict(), sort_keys=True)
+        back = OpenLoopSchedule.from_dict(json.loads(blob))
+        assert back == sched
+        assert json.dumps(back.to_dict(), sort_keys=True) == blob
+
+
+class TestDriver:
+    def test_ops_fire_at_absolute_times(self):
+        sim = Simulator()
+        fired = []
+        ops = (CrossOp(at=0.002, src=1, dst=2, size=1),
+               CrossOp(at=0.001, src=2, dst=1, size=1))
+        n = schedule_ops(sim, 0.0, ops, lambda op: fired.append(
+            (round(sim.now, 9), op.src)))
+        assert n == 2
+        sim.run()
+        assert fired == [(0.001, 2), (0.002, 1)]
+
+    def test_open_loop_does_not_wait(self):
+        # Arrivals keep firing even though the handler never "completes"
+        # anything — the generator is oblivious to the system's state.
+        sim = Simulator()
+        seen = []
+        ops = tuple(ChurnOp(at=i * 1e-3, topic=0, ip=9) for i in range(5))
+        schedule_ops(sim, 0.0, ops, lambda op: seen.append(sim.now))
+        sim.run()
+        assert len(seen) == 5

@@ -77,7 +77,8 @@ class TestLatencyStats:
     def test_summary_keys(self):
         s = LatencyStats()
         s.record(5.0)
-        assert set(s.summary()) == {"count", "mean", "p50", "p99", "max"}
+        assert set(s.summary()) == {"count", "mean", "p50", "p99", "p999",
+                                    "max"}
 
     def test_summary_matches_percentile_calls(self):
         """summary() sorts the window once; its percentiles must agree
@@ -88,12 +89,27 @@ class TestLatencyStats:
         out = s.summary()
         assert out["p50"] == s.percentile(50)
         assert out["p99"] == s.percentile(99)
+        assert out["p999"] == s.percentile(99.9)
         assert out["mean"] == pytest.approx(s.mean)
         assert out["max"] == s.max_value
+
+    def test_p999_separates_from_p99_on_heavy_tails(self):
+        """One outlier in 10k samples: p99 stays at the body, p999 climbs
+        toward the tail — the SLO metric the broker-fabric scenario
+        reports."""
+        s = LatencyStats(max_samples=2_000)
+        for _ in range(995):
+            s.record(1.0)
+        for _ in range(5):
+            s.record(1_000.0)
+        out = s.summary()
+        assert out["p99"] == 1.0
+        assert out["p999"] > out["p99"]
 
     def test_summary_of_empty_window(self):
         out = LatencyStats().summary()
         assert out["p50"] == 0.0 and out["p99"] == 0.0
+        assert out["p999"] == 0.0
 
 
 class TestDeliveryTap:
