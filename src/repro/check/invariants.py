@@ -34,6 +34,17 @@ failure schedule or source rotation:
     bijection, radix bound, AggAckPSN <= min AckPSN, AckOutPort is a
     tree port — plus, on demand, MDT/topology consistency after
     :class:`~repro.net.failures.FailureInjector` cuts and repairs.
+``path-lane-psn-overlap``
+    k-path spraying (MRC lanes): the *primary* per-lane byte
+    sub-ranges of one spray partition the message — two lanes may
+    never be assigned overlapping bytes (only failover *resprays* may
+    re-cover a dead lane's range), and no sub-range may exceed the
+    message bounds.
+``lane-reassembly-gap``
+    Lane reassembly completes without holes: when a receiver's
+    :class:`~repro.transport.spray.LaneReassembler` declares a sprayed
+    message complete, the monitor independently re-merges the published
+    segment list and flags any uncovered byte of ``[0, total)``.
 
 The monitor is *online*: it subscribes to the simulation's single
 :class:`~repro.net.pipeline.ObserverBus` — the ``feedback``,
@@ -97,6 +108,20 @@ def _min_downstream(mft: Mft) -> Optional[int]:
     return best
 
 
+def _merge_ranges(ranges) -> List[Tuple[int, int]]:
+    """Independent (offset, length) range union — the monitor must not
+    trust :func:`repro.transport.spray.merge_ranges`, which is part of
+    the machinery under test."""
+    merged: List[Tuple[int, int]] = []
+    for off, length in sorted(r for r in ranges if r[1] > 0):
+        if merged and off <= merged[-1][0] + merged[-1][1]:
+            last_off, last_len = merged[-1]
+            merged[-1] = (last_off, max(last_len, off + length - last_off))
+        else:
+            merged.append((off, length))
+    return merged
+
+
 class InvariantMonitor:
     """Collects (or raises on) protocol-invariant violations.
 
@@ -121,6 +146,10 @@ class InvariantMonitor:
         self._agg_seen: Dict[int, int] = {}
         # per-MFT highest membership epoch observed (must not regress)
         self._mft_epoch: Dict[int, int] = {}
+        # per-spray primary (non-respray) lane segments: (sprayer, sid)
+        # -> [(offset, length, lane)]
+        self._spray_primary: Dict[Tuple[int, int],
+                                  List[Tuple[int, int, int]]] = {}
         self._fabrics: List[object] = []
         # Every bus subscription this monitor made, for symmetric detach.
         self._subscriptions: List[Tuple[object, str, object]] = []
@@ -172,6 +201,8 @@ class InvariantMonitor:
         self._subscribe(bus, "qp_send", self.on_qp_send)
         self._subscribe(bus, "deliver", self.on_qp_deliver)
         self._subscribe(bus, "membership_epoch", self.on_membership_epoch)
+        self._subscribe(bus, "lane_spray", self.on_lane_spray)
+        self._subscribe(bus, "lane_complete", self.on_lane_complete)
         if trace:
             self._subscribe(bus, "event", self.on_event)
 
@@ -292,6 +323,43 @@ class InvariantMonitor:
                 self._flag("duplicate-message", self._qp_name(qp),
                            f"message {pkt.msg_id} completed twice")
             done.add(pkt.msg_id)
+
+    # ------------------------------------------------------------------
+    # lane taps: spray partition disjointness + reassembly coverage
+    # ------------------------------------------------------------------
+
+    def on_lane_spray(self, sprayer, sid: int, lane: int, offset: int,
+                      length: int, total: int, respray: bool) -> None:
+        self._now = sprayer.sim.now
+        self.events_checked += 1
+        where = f"spray {sid}"
+        if offset < 0 or length <= 0 or offset + length > total:
+            self._flag("path-lane-psn-overlap", where,
+                       f"lane {lane} sub-range [{offset}, {offset + length})"
+                       f" exceeds the message bounds [0, {total})")
+            return
+        if respray:
+            # A failover respray deliberately re-covers a dead lane's
+            # bytes; only primary shares must partition the message.
+            return
+        segs = self._spray_primary.setdefault((id(sprayer), sid), [])
+        for o, l, ln in segs:
+            if offset < o + l and o < offset + length:
+                self._flag("path-lane-psn-overlap", where,
+                           f"lane {lane} sub-range [{offset}, "
+                           f"{offset + length}) overlaps lane {ln}'s "
+                           f"[{o}, {o + l})")
+        segs.append((offset, length, lane))
+
+    def on_lane_complete(self, reassembler, sid: int, ip: int,
+                         total: int, segments) -> None:
+        self.events_checked += 1
+        # Re-merge independently of the reassembler's own union.
+        merged = _merge_ranges([(o, l) for o, l, _ in segments])
+        if len(merged) != 1 or merged[0] != (0, total):
+            self._flag("lane-reassembly-gap", f"host {ip}",
+                       f"spray {sid} declared complete but segments "
+                       f"cover {merged} of [0, {total})")
 
     # ------------------------------------------------------------------
     # feedback taps: min-AckPSN, MePSN, CNP filter

@@ -27,6 +27,8 @@ from repro.core.group import MulticastGroup
 from repro.core.source_switch import SourceSwitchCoordinator
 from repro.errors import ConfigurationError, RegistrationError
 from repro.transport.roce import RoceQP
+from repro.transport.spray import (LaneHealthMonitor, LaneReassembler,
+                                   LaneSprayer)
 
 __all__ = ["CepheusBcast"]
 
@@ -46,18 +48,36 @@ class CepheusBcast(BroadcastAlgorithm):
         expected_bps: Optional[float] = None,
         fallback_factory: Optional[Callable[[], BroadcastAlgorithm]] = None,
         recovery: str = "amcast",
+        paths: int = 1,
+        lane_stall_timeout: float = 3e-3,
     ) -> None:
         """``recovery`` selects the safeguard action: ``"amcast"`` re-runs
         the payload over the fallback algorithm (§V-D), ``"partial"``
         implements the paper's envisioned fine-grained fallback — probe
         membership, re-form the multicast group around the survivors,
-        and re-send in-network, reporting the unreachable members."""
+        and re-send in-network, reporting the unreachable members.
+
+        ``paths=k`` turns on MRC-style k-path spraying: the group
+        becomes a k-lane McstID family, every member gets one RC
+        connection per lane, and each broadcast is striped over the
+        lanes' PSN sub-ranges.  A lane whose acknowledgements stall for
+        ``lane_stall_timeout`` is declared dead and its share re-sprayed
+        across the surviving lanes (no group-wide go-back-N).
+        ``paths=1`` is bit-for-bit the classic single-tree broadcast."""
         super().__init__(cluster, members, root)
         if cluster.fabric is None:
             raise ConfigurationError(
                 "CepheusBcast needs a Cepheus-enabled cluster (cepheus=True)")
         if recovery not in ("amcast", "partial"):
             raise ConfigurationError(f"unknown recovery mode {recovery!r}")
+        if paths < 1:
+            raise ConfigurationError(f"paths must be >= 1, got {paths}")
+        if paths > 1 and safeguard:
+            raise ConfigurationError(
+                "the safeguard fallback is single-lane only; k-path "
+                "spraying recovers per lane instead")
+        self.paths = paths
+        self.lane_stall_timeout = lane_stall_timeout
         self.safeguard = safeguard
         self.expected_bps = expected_bps or constants.LINK_BANDWIDTH_BPS
         self.fallback_factory = fallback_factory or (
@@ -66,6 +86,9 @@ class CepheusBcast(BroadcastAlgorithm):
         self.group: Optional[MulticastGroup] = None
         self.coordinator: Optional[SourceSwitchCoordinator] = None
         self.qps: Dict[int, RoceQP] = {}
+        self.sprayer: Optional[LaneSprayer] = None
+        self.health: Optional[LaneHealthMonitor] = None
+        self.reassemblers: Dict[int, LaneReassembler] = {}
         self.fell_back = False
         self.fallback_reason: Optional[str] = None
         self.unreachable: set = set()
@@ -76,7 +99,15 @@ class CepheusBcast(BroadcastAlgorithm):
     def _setup(self) -> None:
         fabric = self.cluster.fabric
         self.qps = {ip: self.cluster.ctx(ip).create_qp() for ip in self.ranks}
-        self.group = fabric.create_group(self.qps, leader_ip=self.root)
+        if self.paths == 1:
+            self.group = fabric.create_group(self.qps, leader_ip=self.root)
+        else:
+            lane_members = [self.qps] + [
+                {ip: self.cluster.ctx(ip).create_qp() for ip in self.ranks}
+                for _ in range(self.paths - 1)
+            ]
+            self.group = fabric.create_group(
+                self.qps, leader_ip=self.root, lane_members=lane_members)
         try:
             fabric.register_sync(self.group)
         except RegistrationError as exc:
@@ -96,6 +127,10 @@ class CepheusBcast(BroadcastAlgorithm):
     def set_source(self, ip: int) -> None:
         """Switch the multicast source without re-registering."""
         self.prepare()
+        if self.paths > 1:
+            raise ConfigurationError(
+                "source switching is single-lane only: §III-E PSN "
+                "synchronization covers one stream, not k lane streams")
         if self.fell_back:
             # AMcast fallback: just re-root the fallback algorithm.
             self._fallback_algo = None
@@ -119,7 +154,12 @@ class CepheusBcast(BroadcastAlgorithm):
             raise ConfigurationError(
                 "cannot join after safeguard fallback (static AMcast tree)")
         qp = self.cluster.ctx(ip).create_qp()
-        self.cluster.fabric.membership(self.group).join_sync(ip, qp)
+        lane_qps = None
+        if self.paths > 1:
+            lane_qps = [qp] + [self.cluster.ctx(ip).create_qp()
+                               for _ in range(self.paths - 1)]
+        self.cluster.fabric.membership(self.group).join_sync(
+            ip, qp, lane_qps=lane_qps)
         self.qps[ip] = qp
         self.ranks.append(ip)
 
@@ -139,6 +179,9 @@ class CepheusBcast(BroadcastAlgorithm):
     def _launch(self, size: int, result: BroadcastResult) -> None:
         if self.fell_back:
             self._launch_fallback(size, result)
+            return
+        if self.paths > 1:
+            self._launch_spray(size, result)
             return
         sim = self.cluster.sim
         stack = self.cluster.stack
@@ -169,6 +212,51 @@ class CepheusBcast(BroadcastAlgorithm):
             src_qp.post_send(size, on_complete=sender_done)
             if monitor is not None:
                 monitor.start()
+
+        sim.schedule(stack.send, post)
+
+    def _launch_spray(self, size: int, result: BroadcastResult) -> None:
+        """k-path launch: stripe the message over the lane QPs.
+
+        Every receiver gets a :class:`LaneReassembler` hooked on all of
+        its lane QPs; the broadcast completes for a receiver when its
+        per-lane segments cover the whole message.  A
+        :class:`LaneHealthMonitor` runs for the duration of the
+        transfer and re-sprays a dead lane's share on the survivors.
+        """
+        sim = self.cluster.sim
+        stack = self.cluster.stack
+        group = self.group
+        src_ip = group.current_source
+
+        for ip in self.ranks:
+            if ip == src_ip:
+                continue
+            def done(sid: int, total: int, now: float, _ip=ip) -> None:
+                self._record_delivery(result, _ip, now)
+            reasm = LaneReassembler(ip, done, bus=sim.bus)
+            reasm.attach([group.lane_members[lane][ip]
+                          for lane in range(self.paths)])
+            self.reassemblers[ip] = reasm
+
+        lane_src_qps = [group.lane_members[lane][src_ip]
+                        for lane in range(self.paths)]
+
+        def all_acked(sid: int, now: float) -> None:
+            result.sender_done = now
+            if self.health is not None:
+                self.health.stop()
+
+        prev_dead = self.sprayer.dead if self.sprayer is not None else set()
+        self.sprayer = LaneSprayer(sim, lane_src_qps, bus=sim.bus,
+                                   on_complete=all_acked)
+        self.sprayer.dead |= prev_dead  # a lane stays dead across sprays
+        self.health = LaneHealthMonitor(
+            sim, self.sprayer, stall_timeout=self.lane_stall_timeout)
+
+        def post() -> None:
+            self.sprayer.spray(size)
+            self.health.start()
 
         sim.schedule(stack.send, post)
 

@@ -255,7 +255,8 @@ class CepheusAccelerator:
 
         downstream: Dict[int, List] = {}
         for node in payload.nodes:
-            port = self._select_port(mft, node.ip)
+            port = self._select_port(mft, node.ip,
+                                     payload.lane, payload.nlanes)
             # Fresh entries start at the group's current aggregate: a
             # mid-flight joiner is not retroactively responsible for the
             # PSNs emitted before it existed (its stream position is
@@ -284,6 +285,7 @@ class CepheusAccelerator:
                 mcst_id=payload.mcst_id, seq=payload.seq, total=payload.total,
                 controller_ip=payload.controller_ip, nodes=nodes,
                 op=payload.op, epoch=payload.epoch,
+                lane=payload.lane, nlanes=payload.nlanes,
             )
             out = Packet(
                 PacketType.MRP, pkt.src_ip, payload.mcst_id,
@@ -292,9 +294,18 @@ class CepheusAccelerator:
             )
             self.switch.emit(out, port, in_port)
 
-    def _select_port(self, mft: Mft, node_ip: int) -> int:
+    def _select_port(self, mft: Mft, node_ip: int,
+                     lane: int = 0, nlanes: int = 1) -> int:
         """Paper's two rules: reuse an existing MDT port to delay
-        replication; otherwise pick the least group-loaded candidate."""
+        replication; otherwise pick the least group-loaded candidate.
+
+        A lane of a multi-lane group (``nlanes > 1``) replaces the
+        least-loaded rule with the deterministic per-lane ECMP choice
+        (:meth:`Topology.lane_port`): distinct lanes of one group land
+        on distinct uplinks wherever the FIB offers enough equal-cost
+        next hops, which is what makes the k MDTs edge-disjoint.
+        Single-lane groups keep the legacy rule bit-for-bit.
+        """
         direct = self._direct_host_port(node_ip)
         if direct is not None:
             return direct
@@ -302,7 +313,12 @@ class CepheusAccelerator:
         for p in candidates:
             if mft.has_port(p):
                 return p
-        best = min(candidates, key=lambda p: (self.port_group_load.get(p, 0), p))
+        if nlanes > 1:
+            cands = sorted(candidates)
+            best = cands[lane % len(cands)]
+        else:
+            best = min(candidates,
+                       key=lambda p: (self.port_group_load.get(p, 0), p))
         self.port_group_load[best] = self.port_group_load.get(best, 0) + 1
         mft.loaded_ports.add(best)
         return best
@@ -345,6 +361,7 @@ class CepheusAccelerator:
                     total=payload.total,
                     controller_ip=payload.controller_ip, nodes=[node],
                     op=payload.op, epoch=payload.epoch,
+                    lane=payload.lane, nlanes=payload.nlanes,
                 )
                 out = Packet(
                     PacketType.MRP, pkt.src_ip, payload.mcst_id,
@@ -526,6 +543,7 @@ class CepheusAccelerator:
                 mcst_id=payload.mcst_id, seq=payload.seq, total=payload.total,
                 controller_ip=payload.controller_ip, nodes=nodes,
                 op=payload.op, epoch=payload.epoch,
+                lane=payload.lane, nlanes=payload.nlanes,
             )
             out = Packet(
                 PacketType.MRP, pkt.src_ip, payload.mcst_id,
@@ -554,6 +572,7 @@ class CepheusAccelerator:
                     total=payload.total,
                     controller_ip=payload.controller_ip, nodes=[node],
                     op=payload.op, epoch=payload.epoch,
+                    lane=payload.lane, nlanes=payload.nlanes,
                 )
                 out = Packet(
                     PacketType.MRP, pkt.src_ip, payload.mcst_id,

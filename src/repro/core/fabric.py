@@ -64,11 +64,32 @@ class CepheusFabric:
         members: Dict[int, RoceQP],
         leader_ip: Optional[int] = None,
         mr_info: Optional[Dict[int, "tuple[int, int]"]] = None,
+        lane_members: Optional[list] = None,
     ) -> MulticastGroup:
-        """Allocate a McstID and virtual-connect every member QP."""
-        group = MulticastGroup(self.alloc.allocate(), members, leader_ip, mr_info)
+        """Allocate a McstID and virtual-connect every member QP.
+
+        ``lane_members`` (a list of k per-lane ``{ip: qp}`` dicts whose
+        first entry is ``members``) turns the group into a k-lane MRC
+        group: a k-id McstID family is allocated atomically and lane
+        l's QPs virtual-connect to lane l's id.  Omitted, the group is
+        a classic single-lane group.
+        """
+        if lane_members is None:
+            group = MulticastGroup(self.alloc.allocate(), members,
+                                   leader_ip, mr_info)
+        else:
+            lane_ids = self.alloc.allocate_family(len(lane_members))
+            try:
+                group = MulticastGroup(
+                    lane_ids[0], members, leader_ip, mr_info,
+                    lane_ids=lane_ids, lane_members=lane_members)
+            except GroupError:
+                for gid in lane_ids:
+                    self.alloc.release(gid)
+                raise
         group.connect_virtual()
-        self.groups[group.mcst_id] = group
+        for lane_id in group.lane_ids:
+            self.groups[lane_id] = group
         return group
 
     def register(
@@ -80,20 +101,60 @@ class CepheusFabric:
         timeout: float = 10e-3,
         allow_partial: bool = False,
     ) -> MrpController:
-        """Start asynchronous MRP registration for ``group``."""
+        """Start asynchronous MRP registration for ``group``.
+
+        A k-lane group compiles all k MDTs as one transaction: one MRP
+        controller per lane starts together, success fires only when
+        every lane confirmed, and the first lane failure fails the
+        whole family (callers tear the group down, so no half-compiled
+        lane set survives).  Returns the lane-0 controller either way.
+        """
         if self.source_routing is not None:
             # Compile + activate the header before any MRP travels: the
             # first DATA packet must already carry its tree.
-            self.source_routing.attach(group)
+            if group.paths == 1:
+                self.source_routing.attach(group)
+            else:
+                for lane in range(group.paths):
+                    self.source_routing.attach(group.lane_view(lane))
         leader_nic = self.topo.nic(group.leader_ip)
-        ctl = MrpController(
-            self.sim, group, leader_nic,
-            on_success=on_success, on_failure=on_failure, timeout=timeout,
-            allow_partial=allow_partial,
-        )
-        self.agents[group.leader_ip].attach_controller(ctl)
-        ctl.start()
-        return ctl
+        if group.paths == 1:
+            ctl = MrpController(
+                self.sim, group, leader_nic,
+                on_success=on_success, on_failure=on_failure, timeout=timeout,
+                allow_partial=allow_partial,
+            )
+            self.agents[group.leader_ip].attach_controller(ctl)
+            ctl.start()
+            return ctl
+        state = {"pending": group.paths, "failed": False}
+
+        def lane_ok() -> None:
+            state["pending"] -= 1
+            if state["pending"] == 0 and not state["failed"]:
+                group.registered = True
+                if on_success is not None:
+                    on_success()
+
+        def lane_fail(reason: str) -> None:
+            if state["failed"]:
+                return
+            state["failed"] = True
+            if on_failure is not None:
+                on_failure(reason)
+
+        controllers = []
+        for lane in range(group.paths):
+            ctl = MrpController(
+                self.sim, group, leader_nic,
+                on_success=lane_ok, on_failure=lane_fail, timeout=timeout,
+                allow_partial=allow_partial, lane=lane,
+            )
+            self.agents[group.leader_ip].attach_controller(ctl)
+            controllers.append(ctl)
+        for ctl in controllers:
+            ctl.start()
+        return controllers[0]
 
     def register_sync(self, group: MulticastGroup, timeout: float = 10e-3) -> None:
         """Run the simulator until registration completes; raises on failure.
@@ -160,27 +221,43 @@ class CepheusFabric:
     def unregister(self, group: MulticastGroup) -> None:
         """Remove the group's MFT from every accelerator (control-plane
         teardown; frees switch memory for abandoned probe groups) and
-        recycle its McstID."""
-        for accel in self.accelerators.values():
-            mft = accel.table.get(group.mcst_id)
-            if mft is None:
-                continue
-            for port in mft.loaded_ports:
-                n = accel.port_group_load.get(port, 0)
-                if n > 0:
-                    accel.port_group_load[port] = n - 1
-            accel.table.remove(group.mcst_id)
+        recycle its McstID.
+
+        Every lane of the family retires atomically: per-lane MFTs,
+        per-lane residual source-routing rules (each lane compiled its
+        own header, so each lane's spilled rules must be released — not
+        just lane 0's), the membership manager's per-lane endpoints,
+        and finally the whole McstID family.
+        """
+        for lane_id in group.lane_ids:
+            for accel in self.accelerators.values():
+                mft = accel.table.get(lane_id)
+                if mft is None:
+                    continue
+                for port in mft.loaded_ports:
+                    n = accel.port_group_load.get(port, 0)
+                    if n > 0:
+                        accel.port_group_load[port] = n - 1
+                accel.table.remove(lane_id)
         if self.source_routing is not None:
-            self.source_routing.detach(group)
+            if group.paths == 1:
+                self.source_routing.detach(group)
+            else:
+                for lane in range(group.paths):
+                    self.source_routing.detach(group.lane_view(lane))
         mgr = self._memberships.pop(group.mcst_id, None)
         if mgr is not None:
             mgr.stop_failure_detector()
             if mgr._flush_ev is not None:       # unflushed coalescing batch
                 mgr._flush_ev.cancel()
                 mgr._flush_ev = None
-            self.agents[group.leader_ip].detach_controller(group.mcst_id)
+            for lane_id in group.lane_ids:
+                self.agents[group.leader_ip].detach_controller(lane_id)
         if self.groups.pop(group.mcst_id, None) is not None:
-            self.alloc.release(group.mcst_id)
+            for lane_id in group.lane_ids[1:]:
+                self.groups.pop(lane_id, None)
+            for lane_id in group.lane_ids:
+                self.alloc.release(lane_id)
 
     def set_group_mode(self, mcst_id: int, mode: str) -> None:
         """Flip a registered group between broadcast and the experimental

@@ -19,7 +19,7 @@ from repro import constants
 from repro.errors import GroupError
 from repro.transport.roce import RoceQP
 
-__all__ = ["MemberRecord", "McstIdAllocator", "MulticastGroup"]
+__all__ = ["MemberRecord", "McstIdAllocator", "MulticastGroup", "LaneView"]
 
 
 @dataclass(frozen=True)
@@ -65,6 +65,26 @@ class McstIdAllocator:
         self._live.add(gid)
         return gid
 
+    def allocate_family(self, k: int) -> List[int]:
+        """Allocate a k-id McstID family for a k-lane group.
+
+        Lane 0's id is the group's McstID; lanes 1..k-1 address the
+        per-lane MDTs.  The ids need not be contiguous (recycling keeps
+        allocation deterministic regardless), only unique.  A partial
+        failure rolls back so exhaustion never leaks ids.
+        """
+        if k < 1:
+            raise GroupError(f"a group needs at least 1 lane, got {k}")
+        ids: List[int] = []
+        try:
+            for _ in range(k):
+                ids.append(self.allocate())
+        except GroupError:
+            for gid in ids:
+                self.release(gid)
+            raise
+        return ids
+
     def release(self, gid: int) -> None:
         """Return a destroyed group's ID to the pool."""
         if gid not in self._live:
@@ -92,6 +112,8 @@ class MulticastGroup:
         members: Dict[int, RoceQP],
         leader_ip: Optional[int] = None,
         mr_info: Optional[Dict[int, "tuple[int, int]"]] = None,
+        lane_ids: Optional[List[int]] = None,
+        lane_members: Optional[List[Dict[int, RoceQP]]] = None,
     ) -> None:
         if len(members) < 2:
             raise GroupError("a multicast group needs at least 2 members")
@@ -106,40 +128,98 @@ class MulticastGroup:
         # Membership epoch: bumped on every add/remove; MRP deltas carry
         # it so switches can order/detect stale membership updates.
         self.epoch = 0
+        # -- path lanes (MRC-style k-path spraying) -----------------------
+        # lane_ids[l] is the McstID addressing lane l's MDT; lane 0 IS
+        # the group's own mcst_id, so a single-lane group is exactly the
+        # pre-lane representation.  lane_members[l] maps ip -> the lane-l
+        # QP of that member (lane 0 aliases self.members so legacy code
+        # and lane code see one membership).
+        self.lane_ids: List[int] = list(lane_ids) if lane_ids else [mcst_id]
+        if self.lane_ids[0] != mcst_id:
+            raise GroupError("lane 0 of a McstID family must be the "
+                             "group's own mcst_id")
+        if lane_members is not None:
+            if len(lane_members) != len(self.lane_ids):
+                raise GroupError("lane_members and lane_ids disagree on "
+                                 "the lane count")
+            self.lane_members: List[Dict[int, RoceQP]] = (
+                [self.members] + [dict(m) for m in lane_members[1:]])
+            for lane, qps in enumerate(self.lane_members[1:], start=1):
+                if set(qps) != set(self.members):
+                    raise GroupError(
+                        f"lane {lane} membership differs from lane 0")
+        else:
+            if len(self.lane_ids) != 1:
+                raise GroupError("a multi-lane group needs per-lane QPs")
+            self.lane_members = [self.members]
+
+    @property
+    def paths(self) -> int:
+        """Number of path lanes (k); 1 for a classic single-tree group."""
+        return len(self.lane_ids)
+
+    def lane_view(self, lane: int) -> "LaneView":
+        """A per-lane projection usable wherever a group is expected."""
+        return LaneView(self, lane)
 
     # -- connection establishment (§III-A 'Hosts Establishing Connections') ----
 
     def connect_virtual(self) -> None:
-        """Point every member QP at the virtual remote <McstID, 0x1>."""
-        for qp in self.members.values():
-            qp.connect(self.mcst_id, constants.VIRTUAL_DST_QP)
+        """Point every member QP at the virtual remote <McstID, 0x1>.
 
-    def member_records(self) -> List[MemberRecord]:
+        With k lanes, lane l's QPs connect to <lane_ids[l], 0x1>: each
+        lane is its own virtual destination, so per-lane PSN spaces and
+        per-lane feedback fall out of the existing single-tree datapath.
+        """
+        for lane_id, qps in zip(self.lane_ids, self.lane_members):
+            for qp in qps.values():
+                qp.connect(lane_id, constants.VIRTUAL_DST_QP)
+
+    def member_records(self, lane: int = 0) -> List[MemberRecord]:
         """All members' connection info, leader included (the MDT must
-        reach every potential receiver for source switching to work)."""
+        reach every potential receiver for source switching to work).
+        ``lane`` selects which lane's QPNs the records carry."""
         records = []
-        for ip, qp in sorted(self.members.items()):
+        qps = self.lane_members[lane]
+        for ip in sorted(qps):
             vaddr, rkey = self.mr_info.get(ip, (0, 0))
-            records.append(MemberRecord(ip=ip, qpn=qp.qpn, vaddr=vaddr, rkey=rkey))
+            records.append(MemberRecord(ip=ip, qpn=qps[ip].qpn,
+                                        vaddr=vaddr, rkey=rkey))
         return records
 
     # -- dynamic membership (incremental MRP, §III-C) ---------------------------
 
     def add_member(self, ip: int, qp: RoceQP,
-                   mr: Optional["tuple[int, int]"] = None) -> None:
+                   mr: Optional["tuple[int, int]"] = None,
+                   lane_qps: Optional[List[RoceQP]] = None) -> None:
         """Admit a new member and bump the membership epoch.
 
         The caller (normally :class:`~repro.core.membership.
         MembershipManager`) is responsible for driving the JOIN delta
         that patches the MDT; this only updates the host-side view.
+        With k>1 lanes, ``lane_qps`` supplies the joiner's k QPs
+        (``lane_qps[0]`` must be ``qp``); every lane admits the member
+        together so the family never diverges.
         """
         if ip in self.members:
             raise GroupError(f"{ip} is already a member of "
                              f"group {self.mcst_id:#x}")
+        if self.paths > 1:
+            if lane_qps is None or len(lane_qps) != self.paths:
+                raise GroupError(
+                    f"group {self.mcst_id:#x} has {self.paths} lanes; a "
+                    f"join needs one QP per lane")
+            if lane_qps[0] is not qp:
+                raise GroupError("lane_qps[0] must be the member's "
+                                 "primary (lane 0) QP")
         self.members[ip] = qp
         if mr is not None:
             self.mr_info[ip] = mr
         qp.connect(self.mcst_id, constants.VIRTUAL_DST_QP)
+        for lane in range(1, self.paths):
+            self.lane_members[lane][ip] = lane_qps[lane]
+            lane_qps[lane].connect(self.lane_ids[lane],
+                                   constants.VIRTUAL_DST_QP)
         self.epoch += 1
 
     def remove_member(self, ip: int) -> RoceQP:
@@ -162,6 +242,8 @@ class MulticastGroup:
             raise GroupError(
                 f"group {self.mcst_id:#x} cannot shrink below 2 members")
         qp = self.members.pop(ip)
+        for lane in range(1, self.paths):
+            self.lane_members[lane].pop(ip, None)
         self.mr_info.pop(ip, None)
         self.epoch += 1
         return qp
@@ -179,6 +261,14 @@ class MulticastGroup:
             return self.members[ip]
         except KeyError:
             raise GroupError(f"{ip} is not a member of group {self.mcst_id:#x}")
+
+    def lane_qp_of(self, lane: int, ip: int) -> RoceQP:
+        """The lane-``lane`` QP of member ``ip``."""
+        try:
+            return self.lane_members[lane][ip]
+        except (IndexError, KeyError):
+            raise GroupError(f"{ip} has no lane-{lane} QP in group "
+                             f"{self.mcst_id:#x}")
 
     # -- source switching (§III-E) -----------------------------------------------
 
@@ -200,3 +290,64 @@ class MulticastGroup:
         old_qp.sync_as_old_source()
         new_qp.sync_as_new_source()
         self.current_source = new_source_ip
+
+
+class LaneView:
+    """Read-only per-lane projection of a :class:`MulticastGroup`.
+
+    Control-plane components that were written against a single-tree
+    group (the source-routing encoder, MRP controllers) see one lane of
+    a k-lane group through this shim: ``mcst_id`` is the lane's own id,
+    ``members`` the lane's QPs, and everything else (leader, epoch,
+    current source, MR info) is shared group state.  Lane 0's view is
+    indistinguishable from the group itself.
+    """
+
+    __slots__ = ("group", "lane")
+
+    def __init__(self, group: MulticastGroup, lane: int) -> None:
+        if not 0 <= lane < group.paths:
+            raise GroupError(f"group {group.mcst_id:#x} has no lane {lane}")
+        self.group = group
+        self.lane = lane
+
+    @property
+    def mcst_id(self) -> int:
+        return self.group.lane_ids[self.lane]
+
+    @property
+    def nlanes(self) -> int:
+        return self.group.paths
+
+    @property
+    def members(self) -> Dict[int, RoceQP]:
+        return self.group.lane_members[self.lane]
+
+    @property
+    def leader_ip(self) -> int:
+        return self.group.leader_ip
+
+    @property
+    def current_source(self) -> int:
+        return self.group.current_source
+
+    @property
+    def epoch(self) -> int:
+        return self.group.epoch
+
+    @property
+    def mr_info(self) -> Dict[int, "tuple[int, int]"]:
+        return self.group.mr_info
+
+    @property
+    def registered(self) -> bool:
+        return self.group.registered
+
+    def member_records(self) -> List[MemberRecord]:
+        return self.group.member_records(self.lane)
+
+    def receivers(self) -> List[int]:
+        return self.group.receivers()
+
+    def qp_of(self, ip: int) -> RoceQP:
+        return self.group.lane_qp_of(self.lane, ip)

@@ -82,7 +82,12 @@ class MembershipDelta:
         self.on_done = on_done
         self.finished = False
         self.failed_reason: Optional[str] = None
-        self._confirmed: Set[int] = set()
+        # One coalesced transaction patches EVERY lane of the family:
+        # the delta emits one MRP packet per lane and completes only
+        # when every (lane, member) pair confirmed — a join/leave is
+        # never visible on some lanes but not others.
+        self.nlanes = manager.group.paths
+        self._confirmed: Set[Tuple[int, int]] = set()   # (lane, ip)
         self._done_cbs: List[Callable[["MembershipDelta"], None]] = []
         self._timeout_ev: Optional[Event] = None
 
@@ -111,32 +116,59 @@ class MembershipDelta:
 
     def _emit(self) -> None:
         nic = self.manager.nic
-        payload = MrpPayload(
-            mcst_id=self.manager.group.mcst_id, seq=0, total=1,
-            controller_ip=nic.ip, nodes=list(self.records),
-            op=self.op, epoch=self.epoch,
-        )
-        pkt = Packet(
-            PacketType.MRP, nic.ip, self.manager.group.mcst_id,
-            payload=payload.wire_bytes(), mrp=payload,
-            created_at=self.manager.sim.now,
-        )
-        self.manager.mrp_deltas_sent += 1
-        nic.send(pkt)
+        group = self.manager.group
+        for lane in range(self.nlanes):
+            payload = MrpPayload(
+                mcst_id=group.lane_ids[lane], seq=0, total=1,
+                controller_ip=nic.ip, nodes=self._lane_records(lane),
+                op=self.op, epoch=self.epoch,
+                lane=lane, nlanes=self.nlanes,
+            )
+            pkt = Packet(
+                PacketType.MRP, nic.ip, group.lane_ids[lane],
+                payload=payload.wire_bytes(), mrp=payload,
+                created_at=self.manager.sim.now,
+            )
+            self.manager.mrp_deltas_sent += 1
+            nic.send(pkt)
+
+    def _lane_records(self, lane: int) -> List[MemberRecord]:
+        """The batch's records carrying lane-``lane`` QPNs.
+
+        Joins resolve the member's lane QP from the group (the member
+        was admitted host-side before the delta started); removals keep
+        the lane-0 QPN — switches drain departures by IP and never read
+        it.
+        """
+        if lane == 0:
+            return list(self.records)
+        lane_qps = self.manager.group.lane_members[lane]
+        out: List[MemberRecord] = []
+        for rec in self.records:
+            qp = lane_qps.get(rec.ip)
+            out.append(MemberRecord(
+                ip=rec.ip, qpn=qp.qpn if qp is not None else rec.qpn,
+                vaddr=rec.vaddr, rkey=rec.rkey))
+        return out
 
     # -- transaction outcome ----------------------------------------------------
 
     def on_confirm(self, member_ip: int) -> None:
-        if self.finished or member_ip in self._confirmed:
+        self.on_lane_confirm(0, member_ip)
+
+    def on_lane_confirm(self, lane: int, member_ip: int) -> None:
+        if self.finished or (lane, member_ip) in self._confirmed:
             return
         if not any(r.ip == member_ip for r in self.records):
             return
-        self._confirmed.add(member_ip)
-        if len(self._confirmed) == len(self.records):
+        self._confirmed.add((lane, member_ip))
+        if len(self._confirmed) == len(self.records) * self.nlanes:
             self._finish(None)
 
     def unconfirmed(self) -> List[int]:
-        return [r.ip for r in self.records if r.ip not in self._confirmed]
+        return [r.ip for r in self.records
+                if any((lane, r.ip) not in self._confirmed
+                       for lane in range(self.nlanes))]
 
     def on_switch_error(self, err: MrpError) -> None:
         if self.finished:
@@ -170,6 +202,33 @@ class MembershipDelta:
             self.on_done(self)
         for cb in self._done_cbs:
             cb(self)
+
+
+class _LaneEndpoint:
+    """Control endpoint for one extra lane of a k-lane group.
+
+    The :class:`~repro.core.mrp.HostControlAgent` routes MRP_CONFIRM /
+    switch errors by McstID; lanes 1..k-1 each attach one of these under
+    their lane id so per-lane confirmations reach the manager tagged
+    with the lane they came from.
+    """
+
+    __slots__ = ("manager", "lane", "group")
+
+    def __init__(self, manager: "MembershipManager", lane: int) -> None:
+        self.manager = manager
+        self.lane = lane
+        self.group = manager.group   # HostControlAgent keys off this
+
+    @property
+    def mcst_id(self) -> int:
+        return self.manager.group.lane_ids[self.lane]
+
+    def on_confirm(self, member_ip: int) -> None:
+        self.manager.on_lane_confirm(self.lane, member_ip)
+
+    def on_switch_error(self, err: MrpError) -> None:
+        self.manager.on_switch_error(err)
 
 
 class MembershipManager:
@@ -217,14 +276,23 @@ class MembershipManager:
         self._fd_marks: Dict[int, "Tuple[Optional[int], int]"] = {}
         self._fd_ev: Optional[Event] = None
         self.agent.attach_controller(self)
+        # A k-lane group confirms per lane McstID: attach one endpoint
+        # per extra lane so lane confirmations route back to the same
+        # delta transaction (lane 0 is the manager itself, above).
+        for lane in range(1, group.paths):
+            self.agent.attach_controller(
+                _LaneEndpoint(self, lane), mcst_id=group.lane_ids[lane])
 
     # -- control-plane dispatch (HostControlAgent protocol) --------------------
 
     def on_confirm(self, member_ip: int) -> None:
+        self.on_lane_confirm(0, member_ip)
+
+    def on_lane_confirm(self, lane: int, member_ip: int) -> None:
         self.mrp_confirms_rx += 1
         delta = self._inflight.get(member_ip)
         if delta is not None:
-            delta.on_confirm(member_ip)
+            delta.on_lane_confirm(lane, member_ip)
 
     def on_switch_error(self, err: MrpError) -> None:
         # A switch error names the group, not the member: fail every
@@ -336,12 +404,16 @@ class MembershipManager:
                 # reaches the leaf behind the MFT install — but packets
                 # posted *inside* the window outran it, and a stale
                 # rq_psn would make the joiner NACK the gap and drag the
-                # whole group through a retransmission rewind.
-                src_qp = self.group.members[self.group.current_source]
-                for rec in delta.records:
-                    qp = self.group.members.get(rec.ip)
-                    if qp is not None:
-                        qp.rq_psn = src_qp.sq_psn
+                # whole group through a retransmission rewind.  Every
+                # lane re-bases against its own source QP: the lanes
+                # carry independent PSN spaces.
+                for lane in range(self.group.paths):
+                    lane_qps = self.group.lane_members[lane]
+                    src_qp = lane_qps[self.group.current_source]
+                    for rec in delta.records:
+                        qp = lane_qps.get(rec.ip)
+                        if qp is not None:
+                            qp.rq_psn = src_qp.sq_psn
             for ip in delta.ips():
                 self._inflight[ip] = delta
             delta.start()
@@ -349,20 +421,30 @@ class MembershipManager:
     # -- join / leave / prune ---------------------------------------------------
 
     def join(self, ip: int, qp, mr: Optional["tuple[int, int]"] = None, *,
+             lane_qps: Optional[List] = None,
              on_done: Optional[Callable[[MembershipDelta], None]] = None
              ) -> MembershipDelta:
-        """Admit ``ip`` and patch the MDT with a JOIN delta."""
+        """Admit ``ip`` and patch the MDT with a JOIN delta.
+
+        For a k-lane group ``lane_qps`` supplies the joiner's k QPs
+        (``lane_qps[0]`` is ``qp``); one coalesced transaction patches
+        all k MDTs."""
         # Reject before mutating host-side state: a raise after
         # add_member would leave the group and the MDT diverged.
         if self.has_inflight(ip):
             raise GroupError(
                 f"a membership delta for {ip} is already in flight")
-        self.group.add_member(ip, qp, mr)
+        self.group.add_member(ip, qp, mr, lane_qps=lane_qps)
         self._refresh_sr_header()
         # Stream-position sync (§III-E): the joiner expects the *next*
         # PSN the source will emit, skipping anything already posted.
+        # Each lane syncs against its own source QP (independent PSN
+        # spaces per lane).
         src_qp = self.group.members[self.group.current_source]
         qp.rq_psn = src_qp.sq_psn
+        for lane in range(1, self.group.paths):
+            lane_src = self.group.lane_members[lane][self.group.current_source]
+            lane_qps[lane].rq_psn = lane_src.sq_psn
         self._notify_epoch(qp)
         vaddr, rkey = self.group.mr_info.get(ip, (0, 0))
         record = MemberRecord(ip=ip, qpn=qp.qpn, vaddr=vaddr, rkey=rkey)
@@ -401,10 +483,15 @@ class MembershipManager:
         """Source-routed deployment: a membership change re-encodes the
         group's header at the new epoch.  Senders stamp the new header
         from the next packet on; switches retire the old tree's soft
-        state when the higher epoch flows past them."""
+        state when the higher epoch flows past them.  Every lane
+        re-encodes (each lane compiled its own edge-disjoint tree)."""
         sr = getattr(self.fabric, "source_routing", None)
         if sr is not None:
-            sr.refresh(self.group)
+            if self.group.paths == 1:
+                sr.refresh(self.group)
+            else:
+                for lane in range(self.group.paths):
+                    sr.refresh(self.group.lane_view(lane))
 
     def _notify_epoch(self, qp) -> None:
         """Publish that the QP changed membership epoch (its PSN stream
@@ -417,8 +504,9 @@ class MembershipManager:
     # -- synchronous wrappers (setup/test convenience) --------------------------
 
     def join_sync(self, ip: int, qp,
-                  mr: Optional["tuple[int, int]"] = None) -> None:
-        self._pump(self.join(ip, qp, mr))
+                  mr: Optional["tuple[int, int]"] = None, *,
+                  lane_qps: Optional[List] = None) -> None:
+        self._pump(self.join(ip, qp, mr, lane_qps=lane_qps))
 
     def leave_sync(self, ip: int) -> None:
         self._pump(self.leave(ip))

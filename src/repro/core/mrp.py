@@ -53,7 +53,12 @@ class MrpPayload:
 
     ``op`` and ``epoch`` ride in the 16-byte metadata header (2 spare
     bytes in the Fig. 5 layout), so delta packets cost no extra wire
-    bytes over a plain registration chunk.
+    bytes over a plain registration chunk.  ``lane``/``nlanes``
+    likewise ride in reserved header bits: a k-lane group registers k
+    MDTs, one per lane McstID, and the accelerator resolves ECMP
+    next hops per lane (``Topology.lane_port``) so the lanes land on
+    edge-disjoint uplinks.  ``lane=0, nlanes=1`` is a classic
+    single-tree registration.
     """
 
     mcst_id: int
@@ -63,6 +68,8 @@ class MrpPayload:
     nodes: List[MemberRecord]
     op: str = "register"
     epoch: int = 0
+    lane: int = 0
+    nlanes: int = 1
 
     def wire_bytes(self) -> int:
         return _MRP_METADATA_BYTES + _MRP_NODE_BYTES * len(self.nodes)
@@ -100,8 +107,18 @@ class HostControlAgent:
         self._controllers: Dict[int, "MrpController"] = {}
         self.mrp_seen: Set[int] = set()  # group ids this host affirmed
 
-    def attach_controller(self, ctl: "MrpController") -> None:
-        self._controllers[ctl.group.mcst_id] = ctl
+    def attach_controller(self, ctl, mcst_id: Optional[int] = None) -> None:
+        """Route confirmations/errors for a McstID to ``ctl``.
+
+        ``mcst_id`` overrides the key — a k-lane group attaches one
+        endpoint per lane id so per-lane MRP_CONFIRMs find their way
+        back.  Defaults to the controller's own id (its lane McstID
+        when it is a lane controller, the group id otherwise)."""
+        if mcst_id is None:
+            mcst_id = getattr(ctl, "mcst_id", None)
+        if mcst_id is None:
+            mcst_id = ctl.group.mcst_id
+        self._controllers[mcst_id] = ctl
 
     def detach_controller(self, mcst_id: int) -> None:
         self._controllers.pop(mcst_id, None)
@@ -148,6 +165,7 @@ class MrpController:
         gather_delay: float = 5e-6,
         allow_partial: bool = False,
         retries: int = 0,
+        lane: int = 0,
     ) -> None:
         """``allow_partial`` implements the probing half of the paper's
         envisioned fine-grained fallback (§V-D future work): a timeout
@@ -157,9 +175,16 @@ class MrpController:
 
         ``retries`` re-sends the MRP packets up to that many times on a
         confirmation timeout before declaring failure (MRP is UDP-based,
-        §III-C — a lost control packet should not doom the group)."""
+        §III-C — a lost control packet should not doom the group).
+
+        ``lane`` selects which path lane of a k-lane group this
+        controller registers: the MRP chunks address the lane's own
+        McstID and carry lane-``lane`` QPNs, so the switches compile
+        that lane's MDT.  The fabric runs one controller per lane."""
         self.sim = sim
         self.group = group
+        self.lane = lane
+        self.mcst_id = group.lane_ids[lane]
         self.nic = leader_nic
         self.on_success = on_success
         self.on_failure = on_failure
@@ -182,16 +207,17 @@ class MrpController:
 
     def _emit_packets(self) -> None:
         """(Re-)send the registration chunks; pending state untouched."""
-        records = self.group.member_records()
+        records = self.group.member_records(self.lane)
         chunks = chunk_records(records)
         total = len(chunks)
         for seq, nodes in enumerate(chunks):
             payload = MrpPayload(
-                mcst_id=self.group.mcst_id, seq=seq, total=total,
+                mcst_id=self.mcst_id, seq=seq, total=total,
                 controller_ip=self.nic.ip, nodes=nodes,
+                lane=self.lane, nlanes=self.group.paths,
             )
             pkt = Packet(
-                PacketType.MRP, self.nic.ip, self.group.mcst_id,
+                PacketType.MRP, self.nic.ip, self.mcst_id,
                 payload=payload.wire_bytes(), mrp=payload,
                 created_at=self.sim.now,
             )
@@ -244,7 +270,11 @@ class MrpController:
 
     def _finish_ok(self) -> None:
         self.finished = True
-        self.group.registered = True
+        if self.lane == 0:
+            # Lanes 1..k-1 only confirm their own MDT; the group counts
+            # as registered when the fabric's per-lane aggregation says
+            # every lane finished (lane 0 last in the k=1 case trivially).
+            self.group.registered = True
         if self._timeout_ev is not None:
             self._timeout_ev.cancel()
         if self.on_success is not None:

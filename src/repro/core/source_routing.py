@@ -150,7 +150,8 @@ class FabricView:
 
 
 def compute_tree(view: FabricView, root_ip: int, member_ips,
-                 stats: Optional[Dict[str, int]] = None) -> Dict[str, int]:
+                 stats: Optional[Dict[str, int]] = None,
+                 lane: int = 0, nlanes: int = 1) -> Dict[str, int]:
     """Compile one group's MDT into per-switch port bitmaps.
 
     Members are attached in sorted order by walking the root's leaf
@@ -160,6 +161,12 @@ def compute_tree(view: FabricView, root_ip: int, member_ips,
     membership always compiles to the same rules.  Both directions of
     every traversed link are set: the tree is undirected, any member
     can source, and the data plane prunes the ingress port itself.
+
+    For lane ``lane`` of an ``nlanes``-lane group the lowest-port
+    fallback becomes the shared per-lane ECMP rule
+    (``Topology.lane_port``): the compiled header then describes the
+    same edge-disjoint tree the MFT deployments build for that lane.
+    ``nlanes=1`` keeps the legacy walk bit-for-bit.
 
     ``stats`` (optional) accumulates ``record_installs``: one per
     (member, on-path switch) — the control-plane cost an MRP-style
@@ -179,7 +186,11 @@ def compute_tree(view: FabricView, root_ip: int, member_ips,
             cur_bits = bits.get(cur.name, 0)
             port = next((p for p in ports if cur_bits & (1 << p)), None)
             if port is None:
-                port = min(ports)
+                if nlanes > 1:
+                    cands = sorted(ports)
+                    port = cands[lane % len(cands)]
+                else:
+                    port = min(ports)
             bits[cur.name] = cur_bits | (1 << port)
             peer, rport = view.peers[cur.name][port]
             bits[peer.name] = bits.get(peer.name, 0) | (1 << rport)
@@ -367,7 +378,11 @@ class SourceRoutingManager:
     # -- internals ----------------------------------------------------------
 
     def _encode(self, group, st: _GroupState) -> None:
-        bitmaps = compute_tree(self.view, group.leader_ip, group.members)
+        # A LaneView of a k-lane group compiles its own edge-disjoint
+        # tree; a plain group is lane 0 of 1 and takes the legacy walk.
+        bitmaps = compute_tree(self.view, group.leader_ip, group.members,
+                               lane=getattr(group, "lane", 0),
+                               nlanes=getattr(group, "nlanes", 1))
         in_header, spilled, hbytes = split_rules(
             self.view, bitmaps, self.cfg.rule_budget_bytes)
         key = 0

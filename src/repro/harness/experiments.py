@@ -28,7 +28,7 @@ __all__ = [
     "tab1_storage_iops", "fig10_storage_latency", "fig11_hpl",
     "fig12_large_scale", "fig13_loss", "fig14_fairness", "fig7b_memory",
     "churn_membership", "srmc_scaling", "deployment_golden",
-    "brokerfabric_slo",
+    "brokerfabric_slo", "mrc_fanin", "mrc_loss",
 ]
 
 KB = 1 << 10
@@ -627,6 +627,119 @@ def srmc_scaling(quick: bool = True) -> ExperimentResult:
             "bert_ctrl_records": row["bert_ctrl_records"],
             "elmo_redundant_ports": row["elmo_redundant_ports"],
             "bert_redundant_ports": row["bert_redundant_ports"],
+        })
+    return res
+
+
+# ---------------------------------------------------------------------------
+# MRC-style k-path spraying: lane-count sweep + failover recovery
+# ---------------------------------------------------------------------------
+
+def mrc_fanin(quick: bool = True) -> ExperimentResult:
+    """k-path spraying JCT across lane counts, with the Gleam baseline
+    (no paper figure; quantifies the MRC comparison point of §II-A).
+
+    Broadcasts striped over k ∈ {1, 2, 4} lanes on a k=8 fat-tree
+    (16-host slice: four edge-disjoint uplink stages, so all four lanes
+    ride disjoint core paths).  The sender's single NIC link serializes
+    every byte regardless of lane count, so spraying is JCT-neutral —
+    the value of the lanes is the per-path failure domain measured by
+    ``mrc_loss``, and this sweep pins that neutrality (within one MTU's
+    worth of per-lane tail rounding).  The last column repeats k=4
+    under Gleam AIMD congestion control instead of DCQCN: on an
+    uncongested fabric both sit at line rate, so the baselines agree.
+    """
+    from repro.transport import RoceConfig
+
+    sizes = [256 * KB, 1 * MB] if quick else [256 * KB, 1 * MB, 16 * MB]
+    res = ExperimentResult(
+        exp_id="mrc_fanin",
+        title="MRC k-path spraying: JCT vs lane count (fat-tree k=8)",
+        headers=["size", "k1_us", "k2_us", "k4_us", "k4_gleam_us",
+                 "k4_vs_k1"],
+        paper_claim="striping over k disjoint paths is JCT-neutral (the "
+                    "sender NIC serializes every byte either way); the "
+                    "lanes buy per-path failover, not bandwidth",
+        notes="8 members on a 16-host fat-tree(8) slice; deterministic",
+    )
+    variants = {}
+    for key, paths, roce in (("k1", 1, None), ("k2", 2, None),
+                             ("k4", 4, None),
+                             ("k4_gleam", 4, RoceConfig(cc="gleam"))):
+        cl = Cluster.fat_tree_cluster(8, hosts_limit=16, roce_config=roce)
+        variants[key] = CepheusBcast(cl, cl.topo.host_ips[:8], paths=paths)
+    for size in sizes:
+        jct = {k: a.run(size).jct for k, a in variants.items()}
+        res.rows.append({
+            "size": fmt_size(size),
+            "k1_us": jct["k1"] * 1e6,
+            "k2_us": jct["k2"] * 1e6,
+            "k4_us": jct["k4"] * 1e6,
+            "k4_gleam_us": jct["k4_gleam"] * 1e6,
+            "k4_vs_k1": jct["k1"] / jct["k4"],
+        })
+    return res
+
+
+def mrc_loss(quick: bool = True) -> ExperimentResult:
+    """Lane failover: kill one of two lanes mid-transfer and measure
+    recovery (no paper figure; the MRC-style per-path feedback claim).
+
+    For every deployment, a 2-lane broadcast runs once clean and once
+    with lane 1's exclusive uplink severed ~15 us into the transfer.
+    The health monitor declares the lane dead after ``stall_timeout``
+    (0.5 ms here) without acknowledgement progress and re-sprays its
+    share over lane 0; the surviving lane's PSN stream never rewinds —
+    zero timeouts and zero retransmitted packets on it — so recovery
+    costs one detection timeout plus the re-sprayed share's
+    serialization, not a group-wide go-back-N.
+    """
+    from repro.core.accelerator import AcceleratorConfig
+    from repro.net.failures import FailureInjector
+
+    size = (1 * MB) if quick else (4 * MB)
+    stall = 0.5e-3
+    res = ExperimentResult(
+        exp_id="mrc_loss",
+        title="MRC lane failover: dead-path re-spray recovery (k=2)",
+        headers=["deployment", "clean_us", "kill_us", "detect_us",
+                 "recovery_us", "resprays", "survivor_retx", "delivered"],
+        paper_claim="a dead path's share is re-sprayed on the survivors: "
+                    "recovery ~= the detection timeout, the surviving "
+                    "lane never retransmits (no group-wide go-back-N)",
+        notes=f"{fmt_size(size)} broadcast, 6 members on fat-tree(4); "
+              f"lane killed at +15us, stall_timeout {stall * 1e3:.1f}ms; "
+              f"deterministic",
+    )
+    for deployment in ("inline", "lookaside", "source_routed"):
+        accel = AcceleratorConfig(deployment=deployment)
+        cl = Cluster.fat_tree_cluster(4, accel_config=accel)
+        members = cl.topo.host_ips[:6]
+        clean = CepheusBcast(cl, members, paths=2,
+                             lane_stall_timeout=stall).run(size)
+
+        cl = Cluster.fat_tree_cluster(4, accel_config=accel)
+        members = cl.topo.host_ips[:6]
+        algo = CepheusBcast(cl, members, paths=2, lane_stall_timeout=stall)
+        algo.prepare()
+        injector = FailureInjector(cl.topo)
+        sw, port = cl.topo.lane_uplinks(members[0], members, 2)[1]
+        injector.fail_link(sw, port, at=cl.sim.now + 15e-6)
+        r = algo.run(size)
+        detect = algo.health.dead_events[0][1] - r.start
+        survivor_retx = sum(
+            algo.group.lane_members[lane][members[0]].timeouts
+            + algo.group.lane_members[lane][members[0]].retransmitted_packets
+            for lane in algo.sprayer.live_lanes)
+        res.rows.append({
+            "deployment": deployment,
+            "clean_us": clean.jct * 1e6,
+            "kill_us": r.jct * 1e6,
+            "detect_us": detect * 1e6,
+            "recovery_us": r.jct * 1e6 - detect * 1e6,
+            "resprays": algo.sprayer.resprays,
+            "survivor_retx": survivor_retx,
+            "delivered": len(r.recv_times),
         })
     return res
 

@@ -54,7 +54,7 @@ import json
 import os
 import random
 from dataclasses import asdict, dataclass, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro import constants
 from repro.analytic.models import NetModel, cepheus_jct
@@ -62,12 +62,15 @@ from repro.apps.cluster import Cluster
 from repro.check import CoverageCollector, CoverageMap, InvariantMonitor
 from repro.collectives import CepheusBcast
 from repro.core.accelerator import DEPLOYMENTS, AcceleratorConfig
+from repro.errors import TopologyError
 from repro.harness.chaos import (Incident, _enumerate_targets,
                                  _install_incident, greedy_drop)
 from repro.harness.churn import ChurnEvent
 from repro.net.failures import FailureInjector
 from repro.net.switch import SwitchConfig
 from repro.transport.roce import RoceConfig
+from repro.transport.spray import (LaneHealthMonitor, LaneReassembler,
+                                   LaneSprayer)
 
 __all__ = [
     "FuzzConfig", "FuzzSchedule", "generate_fuzz_schedule",
@@ -85,7 +88,7 @@ MUTATIONS: Tuple[str, ...] = (
     "incident-add", "incident-remove", "incident-retime",
     "incident-retarget", "churn-splice", "churn-drop",
     "offset-jitter", "source-retarget", "reseed",
-    "publish-poisson", "churn-burst",
+    "publish-poisson", "churn-burst", "lane-kill",
 )
 
 
@@ -108,6 +111,8 @@ class FuzzConfig:
     retransmit_mode: str = "gbn"
     deployments: Tuple[str, ...] = DEPLOYMENTS
     jct_slack: float = 5.0        # throughput-oracle ceiling multiplier
+    paths: int = 1                # MRC lanes per group (k-path spraying)
+    lane_stall_timeout: float = 1e-3  # dead-lane declaration threshold
 
     def to_dict(self) -> Dict[str, object]:
         d = asdict(self)
@@ -136,7 +141,15 @@ class FuzzSchedule:
       JOIN per ip; leavers are distinct non-source initial members;
     * incident repairs land by ``0.75 * horizon`` so recovery has tail
       room before the liveness check, and churn ops land by
-      ``0.6 * horizon`` so their MRP deltas settle.
+      ``0.6 * horizon`` so their MRP deltas settle;
+    * ``lane_kills`` (``(lane, at, repair_at)``; meaningful only when
+      ``cfg.paths > 1``) sever one lane's *exclusive* uplink so the
+      sprayer's failover re-spray path runs under fuzz; at most
+      ``paths - 1`` lanes are ever killed, one per lane, and with
+      k lanes all sources collapse onto the leader (§III-E source
+      switching is single-lane).  The field is omitted from the
+      canonical dict when empty, so every pre-lane corpus entry keeps
+      its content hash.
     """
 
     trial_seed: int
@@ -144,13 +157,18 @@ class FuzzSchedule:
     offsets: Tuple[float, ...]
     incidents: Tuple[Incident, ...]
     churn: Tuple[ChurnEvent, ...]
+    lane_kills: Tuple[Tuple[int, float, float], ...] = ()
 
     def to_dict(self) -> Dict[str, object]:
-        return {"trial_seed": self.trial_seed,
-                "sources": list(self.sources),
-                "offsets": list(self.offsets),
-                "incidents": [i.to_dict() for i in self.incidents],
-                "churn": [e.to_dict() for e in self.churn]}
+        d: Dict[str, object] = {
+            "trial_seed": self.trial_seed,
+            "sources": list(self.sources),
+            "offsets": list(self.offsets),
+            "incidents": [i.to_dict() for i in self.incidents],
+            "churn": [e.to_dict() for e in self.churn]}
+        if self.lane_kills:
+            d["lane_kills"] = [list(k) for k in self.lane_kills]
+        return d
 
     @classmethod
     def from_dict(cls, d: Dict[str, object]) -> "FuzzSchedule":
@@ -160,7 +178,10 @@ class FuzzSchedule:
                    incidents=tuple(Incident.from_dict(i)
                                    for i in d["incidents"]),
                    churn=tuple(ChurnEvent.from_dict(e)
-                               for e in d.get("churn", [])))
+                               for e in d.get("churn", [])),
+                   lane_kills=tuple(
+                       (int(l), float(a), float(r))
+                       for l, a, r in d.get("lane_kills", [])))
 
     def content_hash(self) -> str:
         """Canonical digest; names corpus files and dedupes entries."""
@@ -230,12 +251,38 @@ def _draw_incident(cfg: FuzzConfig, shape: _Shape, rng) -> Incident:
     return Incident(kind=raw[0], target=raw, at=at, repair_at=repair_at)
 
 
+def _draw_lane_kill(cfg: FuzzConfig, rng) -> Tuple[int, float, float]:
+    h = cfg.horizon
+    lane = rng.randrange(cfg.paths)
+    at = round(rng.uniform(0.05, 0.4) * h, 9)
+    repair_at = round(at + rng.uniform(0.1, 0.25) * h, 9)
+    return (lane, at, repair_at)
+
+
 def _sanitize(cfg: FuzzConfig, shape: _Shape,
               schedule: FuzzSchedule) -> FuzzSchedule:
     """Clamp a schedule onto the validity contract (see class doc)."""
     h = cfg.horizon
-    sources = tuple(s if s in shape.initial else shape.leader
-                    for s in schedule.sources)
+    if cfg.paths > 1:
+        # Source switching is single-lane (§III-E); with k lanes the
+        # leader sources every message.
+        sources = tuple(shape.leader for _ in schedule.sources)
+    else:
+        sources = tuple(s if s in shape.initial else shape.leader
+                        for s in schedule.sources)
+    lane_kills: List[Tuple[int, float, float]] = []
+    if cfg.paths > 1:
+        killed = set()
+        for lane, at, repair_at in schedule.lane_kills:
+            lane = int(lane) % cfg.paths
+            # Never kill every lane: the re-spray needs a survivor.
+            if lane in killed or len(killed) >= cfg.paths - 1:
+                continue
+            killed.add(lane)
+            at = min(max(at, 0.0), round(0.55 * h, 9))
+            repair_at = min(max(repair_at, at + 1e-6), round(0.75 * h, 9))
+            lane_kills.append((lane, round(at, 9), round(repair_at, 9)))
+        lane_kills.sort()
     protected = set(sources) | {shape.leader}
     joined, left = set(), set()
     churn: List[ChurnEvent] = []
@@ -273,7 +320,8 @@ def _sanitize(cfg: FuzzConfig, shape: _Shape,
         for o in schedule.offsets[1:len(sources)]))
     offsets = offsets + (0.0,) * (len(sources) - len(offsets))
     return replace(schedule, sources=sources, offsets=offsets,
-                   incidents=tuple(incidents), churn=tuple(churn))
+                   incidents=tuple(incidents), churn=tuple(churn),
+                   lane_kills=tuple(lane_kills))
 
 
 def generate_fuzz_schedule(cfg: FuzzConfig, rng,
@@ -300,9 +348,15 @@ def generate_fuzz_schedule(cfg: FuzzConfig, rng,
                              len(candidates))):
         churn.append(ChurnEvent("leave", ip,
                                 _draw_churn_time(cfg, offsets, rng)))
+    # Guarded so a paths=1 config consumes exactly the pre-lane rng
+    # draw sequence (the committed corpus depends on it).
+    lane_kills: Tuple[Tuple[int, float, float], ...] = ()
+    if cfg.paths > 1:
+        lane_kills = tuple(_draw_lane_kill(cfg, rng)
+                           for _ in range(rng.randint(0, 1)))
     return _sanitize(cfg, shape, FuzzSchedule(
         trial_seed=trial_seed, sources=sources, offsets=offsets,
-        incidents=incidents, churn=tuple(churn)))
+        incidents=incidents, churn=tuple(churn), lane_kills=lane_kills))
 
 
 # ---------------------------------------------------------------------------
@@ -381,6 +435,20 @@ def mutate_schedule(cfg: FuzzConfig, schedule: FuzzSchedule, rng,
             churn.append(ChurnEvent("join", rng.choice(joins), at))
             churn.append(ChurnEvent("leave", rng.choice(leaves),
                                     round(at + gap, 9)))
+    elif op == "lane-kill" and cfg.paths > 1:
+        # Add a kill for an unkilled lane, or retime an existing one;
+        # a paths=1 config makes this operator a sanitized no-op.
+        kills = list(schedule.lane_kills)
+        if kills and rng.random() < 0.5:
+            i = rng.randrange(len(kills))
+            lane = kills[i][0]
+            _, at, repair_at = _draw_lane_kill(cfg, rng)
+            kills[i] = (lane, at, repair_at)
+        else:
+            kills.append(_draw_lane_kill(cfg, rng))
+        return _sanitize(cfg, shape, replace(
+            schedule, incidents=tuple(incidents), churn=tuple(churn),
+            lane_kills=tuple(kills)))
     return _sanitize(cfg, shape, replace(
         schedule, incidents=tuple(incidents), churn=tuple(churn)))
 
@@ -403,6 +471,37 @@ def crossover_schedules(cfg: FuzzConfig, a: FuzzSchedule, b: FuzzSchedule,
 # one trial: three deployments + differential oracles
 # ---------------------------------------------------------------------------
 
+def _install_lane_kills(cluster: Cluster, injector: FailureInjector,
+                        schedule: FuzzSchedule, leader: int,
+                        initial: List[int], cfg: FuzzConfig, start: float,
+                        coverage: CoverageMap, deployment: str) -> None:
+    """Schedule each lane kill on that lane's *exclusive* uplink.
+
+    Star topologies (and fat-trees narrower than the lane count) have
+    no lane-exclusive link to cut — the kill is skipped, but the
+    outcome still lands in coverage so the loop can tell the two
+    schedules apart.
+    """
+    sim = cluster.sim
+    try:
+        uplinks = cluster.topo.lane_uplinks(leader, initial, cfg.paths)
+    except TopologyError:
+        coverage.add(f"lanekill/{deployment}/no-exclusive-uplink")
+        return
+
+    def repair(sw, port) -> None:
+        try:
+            injector.repair_link(sw, port)
+        except TopologyError:
+            pass  # a chaos incident repairing the same link won the race
+
+    for lane, at, repair_at in schedule.lane_kills:
+        sw, port = uplinks[lane]
+        sim.schedule(start + at - sim.now, injector.fail_link, sw, port)
+        sim.schedule(start + repair_at - sim.now, repair, sw, port)
+    coverage.add(f"lanekill/{deployment}/installed")
+
+
 def _run_one_deployment(cfg: FuzzConfig, schedule: FuzzSchedule,
                         deployment: str,
                         coverage: CoverageMap) -> Dict[str, object]:
@@ -417,17 +516,39 @@ def _run_one_deployment(cfg: FuzzConfig, schedule: FuzzSchedule,
         hosts = list(cluster.host_ips)
         initial = hosts[:cfg.initial_members]
         leader = initial[0]
-        algo = CepheusBcast(cluster, initial, leader)
+        algo = CepheusBcast(cluster, initial, leader, paths=cfg.paths,
+                            lane_stall_timeout=cfg.lane_stall_timeout)
         algo.prepare()
         mm = fabric.membership(algo.group)
         injector = FailureInjector(cluster.topo)
         start = sim.now
         for inc in schedule.incidents:
             _install_incident(cluster, injector, inc, start)
+        if cfg.paths > 1 and schedule.lane_kills:
+            _install_lane_kills(cluster, injector, schedule, leader,
+                                initial, cfg, start, coverage, deployment)
+        if cfg.paths > 1:
+            # Spray delivery rides qp.on_message; the reassemblers also
+            # publish "lane_complete" for the reassembly-gap invariant.
+            for ip in initial:
+                if ip == leader:
+                    continue
+                reasm = LaneReassembler(ip, lambda sid, total, now: None,
+                                        bus=sim.bus)
+                reasm.attach([algo.group.lane_members[lane][ip]
+                              for lane in range(cfg.paths)])
 
         def do_join(ip: int) -> None:
             qp = cluster.ctx(ip).create_qp()
-            mm.join(ip, qp)
+            if cfg.paths > 1:
+                lane_qps = [qp] + [cluster.ctx(ip).create_qp()
+                                   for _ in range(cfg.paths - 1)]
+                reasm = LaneReassembler(ip, lambda sid, total, now: None,
+                                        bus=sim.bus)
+                reasm.attach(lane_qps)
+                mm.join(ip, qp, lane_qps=lane_qps)
+            else:
+                mm.join(ip, qp)
 
         def do_leave(ip: int) -> None:
             if ip in algo.group.members and ip not in mm._inflight:
@@ -440,17 +561,26 @@ def _run_one_deployment(cfg: FuzzConfig, schedule: FuzzSchedule,
         # Per-receiver delivery log for the payload oracle.  msg_id is a
         # process-global counter, so deployments see different raw ids
         # for the same message — normalize to the schedule ordinal.
+        # With k lanes the log is keyed ``(ip, lane)`` and normalized by
+        # spray id instead (sub-message msg_ids differ per lane).
         mid_order: Dict[int, int] = {}
-        seq: Dict[int, List[Tuple[int, int, int]]] = {}
+        sid_order: Dict[int, int] = {}
+        seq: Dict[object, List[Tuple[int, int, int]]] = {}
 
         def on_deliver(qp, pkt) -> None:
-            seq.setdefault(qp.nic.ip, []).append(
-                (mid_order.get(pkt.msg_id, -1), pkt.psn, pkt.payload))
+            meta = pkt.meta
+            if isinstance(meta, tuple) and meta and meta[0] == "lane-spray":
+                seq.setdefault((qp.nic.ip, meta[2]), []).append(
+                    (sid_order.get(meta[1], -1), pkt.psn, pkt.payload))
+            else:
+                seq.setdefault(qp.nic.ip, []).append(
+                    (mid_order.get(pkt.msg_id, -1), pkt.psn, pkt.payload))
 
         sim.bus.subscribe("deliver", on_deliver)
 
         size = cfg.msg_packets * constants.MTU_BYTES
         state = {"completed": 0, "durations": []}
+        dead_carry: Set[int] = set()
 
         def post_next() -> None:
             i = state["completed"]
@@ -468,8 +598,29 @@ def _run_one_deployment(cfg: FuzzConfig, schedule: FuzzSchedule,
                                sim.now + 1e-6)
                     sim.schedule(when - sim.now, post_next)
 
-            mid = algo.qps[src].post_send(size, on_complete=on_done)
-            mid_order[mid] = i
+            if cfg.paths > 1:
+                lane_qps = [algo.group.lane_members[lane][src]
+                            for lane in range(cfg.paths)]
+                sprayer = LaneSprayer(sim, lane_qps, bus=sim.bus)
+                # A lane declared dead stays dead for the trial — the
+                # failover contract is per-spray, not a repair detector.
+                sprayer.dead |= dead_carry
+                health = LaneHealthMonitor(
+                    sim, sprayer, interval=cfg.rto,
+                    stall_timeout=cfg.lane_stall_timeout,
+                    on_dead=lambda lane, _now: dead_carry.add(lane))
+
+                def spray_done(sid: int, now: float) -> None:
+                    health.stop()
+                    on_done(sid, now)
+
+                sprayer.on_complete = spray_done
+                sid = sprayer.spray(size)
+                sid_order[sid] = i
+                health.start()
+            else:
+                mid = algo.qps[src].post_send(size, on_complete=on_done)
+                mid_order[mid] = i
 
         post_next()
         sim.run(until=start + cfg.horizon, max_events=20_000_000)
@@ -483,8 +634,14 @@ def _run_one_deployment(cfg: FuzzConfig, schedule: FuzzSchedule,
         collector.add_violations(violations)
         for op, _ip, _why in mm.delta_failures:
             coverage.add(f"mmdelta/{deployment}/{op}/failed")
-        source_idle = all(algo.qps[s].send_idle
-                          for s in set(schedule.sources))
+        if cfg.paths > 1:
+            source_idle = all(
+                algo.group.lane_members[lane][s].send_idle
+                for s in set(schedule.sources)
+                for lane in range(cfg.paths))
+        else:
+            source_idle = all(algo.qps[s].send_idle
+                              for s in set(schedule.sources))
         return {
             "deployment": deployment,
             "completed": state["completed"],
@@ -537,26 +694,41 @@ def run_fuzz_trial(cfg: FuzzConfig, schedule: FuzzSchedule,
     # for every stable receiver.  Only meaningful when every deployment
     # finished — an incomplete run already failed liveness above, and
     # its truncated sequences would double-report the same root cause.
+    # Lane kills exempt the trial: failover re-spray timing (and hence
+    # the post-kill lane assignment of every byte) is legitimately
+    # deployment-dependent; the reassembly invariant still guards
+    # exactly-once coverage inside each deployment.
+    def _ip_of(key) -> int:
+        return key[0] if isinstance(key, tuple) else key
+
     churned = {e.ip for e in schedule.churn}
-    hosts_in_group = runs[0]["seq"].keys() if runs else ()
+    hosts_in_group = ({_ip_of(k) for k in runs[0]["seq"]} if runs else ())
     stable = sorted(ip for ip in hosts_in_group if ip not in churned)
+    stable_set = set(stable)
     size = cfg.msg_packets * constants.MTU_BYTES
     all_complete = all(r["completed"] == expected and r["source_idle"]
                        for r in runs)
-    if all_complete and len(runs) > 1:
+    if all_complete and len(runs) > 1 and not schedule.lane_kills:
         base = runs[0]
         for run in runs[1:]:
-            for ip in stable:
-                if run["seq"].get(ip, []) != base["seq"].get(ip, []):
+            keys = set(base["seq"]) | set(run["seq"])
+            for key in sorted(keys):
+                if _ip_of(key) not in stable_set:
+                    continue
+                if run["seq"].get(key, []) != base["seq"].get(key, []):
                     reasons.append(
                         f"diff-payload:{base['deployment']}"
-                        f"vs{run['deployment']}:{ip}")
+                        f"vs{run['deployment']}:{key}")
         owed = {ip: sum(cfg.msg_packets
                         for s in schedule.sources if s != ip)
                 for ip in stable}
         for run in runs:
+            got_by_ip: Dict[int, int] = {}
+            for key, deliveries in run["seq"].items():
+                ip = _ip_of(key)
+                got_by_ip[ip] = got_by_ip.get(ip, 0) + len(deliveries)
             for ip in stable:
-                got = len(run["seq"].get(ip, []))
+                got = got_by_ip.get(ip, 0)
                 if got != owed[ip]:
                     reasons.append(
                         f"delivery-count:{run['deployment']}:{ip}:"
@@ -568,7 +740,7 @@ def run_fuzz_trial(cfg: FuzzConfig, schedule: FuzzSchedule,
     net, depth = _net_model(cfg)
     floor = net.wire(size)
     quiescent = (not schedule.incidents and not schedule.churn
-                 and cfg.loss_rate == 0.0)
+                 and not schedule.lane_kills and cfg.loss_rate == 0.0)
     ceiling = cfg.jct_slack * cepheus_jct(size, cfg.initial_members,
                                           net, mdt_depth=depth)
     for run in runs:
@@ -607,7 +779,8 @@ def _fails(cfg: FuzzConfig, schedule: FuzzSchedule) -> bool:
 def shrink_fuzz_schedule(cfg: FuzzConfig,
                          schedule: FuzzSchedule) -> FuzzSchedule:
     """Greedily minimize a failing input with the shared shrinker:
-    drop incidents, then churn ops, then trailing messages."""
+    drop incidents, then churn ops, then lane kills, then trailing
+    messages."""
     _, schedule = greedy_drop(
         schedule.incidents,
         lambda inc: replace(schedule, incidents=tuple(inc)),
@@ -615,6 +788,10 @@ def shrink_fuzz_schedule(cfg: FuzzConfig,
     _, schedule = greedy_drop(
         schedule.churn,
         lambda ch: replace(schedule, churn=tuple(ch)),
+        lambda cand: _fails(cfg, cand))
+    _, schedule = greedy_drop(
+        schedule.lane_kills,
+        lambda lk: replace(schedule, lane_kills=tuple(lk)),
         lambda cand: _fails(cfg, cand))
     while len(schedule.sources) > 1:
         cand = replace(schedule,

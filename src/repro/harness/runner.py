@@ -40,6 +40,8 @@ ALL_EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {
     "churn": experiments.churn_membership,
     "srmc_scaling": experiments.srmc_scaling,
     "brokerfabric": experiments.brokerfabric_slo,
+    "mrc_fanin": experiments.mrc_fanin,
+    "mrc_loss": experiments.mrc_loss,
     "abl-ack": ablations.ablation_ack_trigger,
     "abl-nack": ablations.ablation_nack_rule,
     "abl-cnp": ablations.ablation_cnp_filter,

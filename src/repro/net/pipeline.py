@@ -82,6 +82,15 @@ class ObserverBus:
                               coverage-guided fuzzer's verdict tap)
     ``event``                 ``(now,)`` — per-simulator-event tick (sampled
                               structural sweeps)
+    ``lane_spray``            ``(sprayer, spray_id, lane, lane_id, offset,
+                              length, total, respray)`` — the sprayer posted
+                              one lane's byte sub-range of a sprayed message
+                              (``respray=True`` for a dead lane's share
+                              re-posted on a survivor)
+    ``lane_complete``         ``(reassembler, spray_id, ip, total, segments)``
+                              — a receiver's reassembler declared a sprayed
+                              message complete; ``segments`` is the raw
+                              ``(offset, length, lane)`` list it accumulated
     ========================  ==================================================
 
     Subscriber lists are immutable tuples: subscribing or unsubscribing
@@ -98,6 +107,7 @@ class ObserverBus:
     CHANNELS: Tuple[str, ...] = (
         "classify", "replicate", "bridge", "feedback", "deliver",
         "qp_send", "emit", "drop", "membership_epoch", "stage", "event",
+        "lane_spray", "lane_complete",
     )
 
     #: Bound on the retained error log (oldest entries are discarded).

@@ -160,6 +160,112 @@ class Topology:
                     q.append(nb)
         return dist
 
+    # -- multipath lanes (MRC-style k edge-disjoint trees) --------------------
+
+    @staticmethod
+    def lane_port(ports: List[int], lane: int, nlanes: int,
+                  seed: int = 0) -> int:
+        """The deterministic per-lane choice among ECMP next hops.
+
+        Lane ``lane`` of an ``nlanes``-lane group picks the
+        ``(lane + seed) mod len``-th port of the *sorted* candidate
+        list.  Every component that resolves ECMP for a lane — the
+        accelerator's MRP walk, the source-routed tree encoder, and
+        :meth:`edge_disjoint_trees` — uses this one rule, so they all
+        agree on which physical links lane l owns.  With
+        ``nlanes <= len(ports)`` (a fat-tree gives ``k/2`` uplinks at
+        every ECMP stage) distinct lanes pick distinct ports, which is
+        what makes the trees edge-disjoint on the uplinks.
+        """
+        cands = sorted(ports)
+        return cands[(lane + seed) % len(cands)]
+
+    def edge_disjoint_trees(self, root_ip: int, member_ips,
+                            k: int, seed: int = 0) -> List[Dict[str, int]]:
+        """Compile ``k`` per-lane MDTs as per-switch port bitmaps.
+
+        Walks the FIB from the root's leaf toward each member exactly
+        like the runtime does (prefer a port already in the lane's own
+        tree so branches merge early, else :meth:`lane_port`), so the
+        returned trees predict which links each lane's DATA traverses
+        — used by the failover experiments and the fuzzer's lane-kill
+        operator to aim a link failure at one specific lane.  Both
+        directions of every traversed link are set (the trees are
+        undirected, any member may source).  Deterministic given
+        ``seed``; ``k=1, seed=0`` reproduces the single-tree walk.
+        """
+        if k < 1:
+            raise TopologyError(f"need at least one lane, got {k}")
+        peers = self.switch_link_map()
+        root_leaf, _root_port = self.leaf_of(root_ip)
+        limit = len(self.switches) + 1
+        trees: List[Dict[str, int]] = []
+        for lane in range(k):
+            bits: Dict[str, int] = {}
+            for ip in sorted(member_ips):
+                leaf, hport = self.leaf_of(ip)
+                bits[leaf.name] = bits.get(leaf.name, 0) | (1 << hport)
+                cur = root_leaf
+                hops = 0
+                while cur is not leaf:
+                    ports = cur.route_ports(ip)
+                    cur_bits = bits.get(cur.name, 0)
+                    port = next(
+                        (p for p in ports if cur_bits & (1 << p)), None)
+                    if port is None:
+                        if k == 1:
+                            port = min(ports)
+                        else:
+                            port = self.lane_port(ports, lane, k, seed)
+                    bits[cur.name] = cur_bits | (1 << port)
+                    peer, rport = peers[cur.name][port]
+                    bits[peer.name] = bits.get(peer.name, 0) | (1 << rport)
+                    cur = peer
+                    hops += 1
+                    if hops > limit:
+                        raise TopologyError(
+                            f"routing loop compiling lane {lane} toward "
+                            f"host {ip}")
+            trees.append(bits)
+        return trees
+
+    def lane_uplinks(self, root_ip: int, member_ips, k: int,
+                     seed: int = 0) -> List[Tuple[Switch, int]]:
+        """One (switch, port) uplink per lane that only that lane uses.
+
+        Convenience for failure injection: for each lane, pick the
+        lowest switch-to-switch port of the lane's tree that appears in
+        no other lane's tree.  Raises :class:`TopologyError` when the
+        fabric has no lane-exclusive link (e.g. a star topology, where
+        all lanes share the single path).
+        """
+        trees = self.edge_disjoint_trees(root_ip, member_ips, k, seed)
+        by_name = {sw.name: sw for sw in self.switches}
+        picks: List[Tuple[Switch, int]] = []
+        for lane, bits in enumerate(trees):
+            choice = None
+            for name in sorted(bits):
+                sw = by_name[name]
+                for port in range(sw.n_ports):
+                    if not bits[name] & (1 << port):
+                        continue
+                    if sw.port_kind[port] != "switch":
+                        continue
+                    if any(other.get(name, 0) & (1 << port)
+                           for o, other in enumerate(trees) if o != lane):
+                        continue
+                    choice = (sw, port)
+                    break
+                if choice:
+                    break
+            if choice is None:
+                raise TopologyError(
+                    f"lane {lane} has no exclusive link to fail "
+                    f"(topology has insufficient path diversity for "
+                    f"k={k})")
+            picks.append(choice)
+        return picks
+
 
 # ---------------------------------------------------------------------------
 # Builders

@@ -7,15 +7,21 @@ to feed them a unicast-looking packet stream.
 """
 
 from repro.transport.dcqcn import DcqcnConfig, DcqcnRateController
+from repro.transport.gleam import GleamConfig, GleamRateController
 from repro.transport.memory import MemoryRegion, MrTable
 from repro.transport.qp import QpStateName, RecvState, SendMessage
 from repro.transport.roce import RoceConfig, RoceQP
+from repro.transport.spray import (LaneHealthMonitor, LaneReassembler,
+                                   LaneSprayer, lane_shares, merge_ranges)
 from repro.transport.verbs import CompletionQueue, VerbsContext
 
 __all__ = [
     "DcqcnConfig", "DcqcnRateController",
+    "GleamConfig", "GleamRateController",
     "MemoryRegion", "MrTable",
     "QpStateName", "RecvState", "SendMessage",
     "RoceConfig", "RoceQP",
+    "LaneSprayer", "LaneReassembler", "LaneHealthMonitor",
+    "lane_shares", "merge_ranges",
     "CompletionQueue", "VerbsContext",
 ]

@@ -27,6 +27,7 @@ from repro.net.packet import Packet, PacketType, RdmaOp
 from repro.net.simulator import Event, Simulator
 from repro.net.trace import ThroughputSampler
 from repro.transport.dcqcn import DcqcnConfig, DcqcnRateController
+from repro.transport.gleam import GleamConfig, GleamRateController
 from repro.transport.memory import MrTable
 from repro.transport import qp as qp_state
 from repro.transport.qp import QpStateName, RecvState, SendMessage
@@ -57,6 +58,13 @@ class RoceConfig:
       packets and the sender retransmits only the missing PSN.  Distinct
       losses recover serially per round trip (a simplification of IRN's
       SACK bitmap; documented in docs/PROTOCOL.md).
+
+    ``cc`` selects the reaction-point congestion controller:
+
+    * ``"dcqcn"`` — the stock ConnectX-5 DCQCN machinery (default);
+    * ``"gleam"`` — the Gleam-style AIMD baseline
+      (:class:`~repro.transport.gleam.GleamRateController`), used by
+      the MRC k-path experiments as the comparison CC.
     """
 
     mtu: int = constants.MTU_BYTES
@@ -66,6 +74,8 @@ class RoceConfig:
     line_rate: float = constants.LINK_BANDWIDTH_BPS
     cnp_min_interval: float = constants.CNP_MIN_INTERVAL_S
     dcqcn: Optional[DcqcnConfig] = None
+    cc: str = "dcqcn"
+    gleam: Optional[GleamConfig] = None
     retransmit_mode: str = "gbn"
     irn_retx_guard: float = 20e-6  # min gap between retransmits of one PSN
 
@@ -100,7 +110,12 @@ class RoceQP:
         self._next_allowed_tx = 0.0
         self._max_sent = 0         # high-water mark: PSNs ever transmitted
         self._rto_event: Optional[Event] = None
-        self.cc = DcqcnRateController(sim, self.cfg.line_rate, self.cfg.dcqcn)
+        if self.cfg.cc == "dcqcn":
+            self.cc = DcqcnRateController(sim, self.cfg.line_rate, self.cfg.dcqcn)
+        elif self.cfg.cc == "gleam":
+            self.cc = GleamRateController(sim, self.cfg.line_rate, self.cfg.gleam)
+        else:
+            raise TransportError(f"unknown congestion controller {self.cfg.cc!r}")
 
         # --- receive side ----------------------------------------------
         self.rq_psn = 0            # expected PSN

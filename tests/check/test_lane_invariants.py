@@ -1,0 +1,87 @@
+"""The two lane invariants: path-lane-psn-overlap, lane-reassembly-gap."""
+
+from repro.check import InvariantMonitor
+from repro.check.invariants import _merge_ranges
+
+
+class _Sim:
+    now = 1.5e-6
+
+
+class _Sprayer:
+    sim = _Sim()
+
+
+def _names(monitor):
+    return [v.invariant for v in monitor.violations]
+
+
+class TestSprayOverlap:
+    def test_clean_partition_passes(self):
+        m = InvariantMonitor()
+        s = _Sprayer()
+        m.on_lane_spray(s, 1, 0, 0, 4096, 8192, False)
+        m.on_lane_spray(s, 1, 1, 4096, 4096, 8192, False)
+        assert m.violations == []
+
+    def test_overlapping_primaries_flagged(self):
+        m = InvariantMonitor()
+        s = _Sprayer()
+        m.on_lane_spray(s, 1, 0, 0, 4096, 8192, False)
+        m.on_lane_spray(s, 1, 1, 2048, 4096, 8192, False)
+        assert "path-lane-psn-overlap" in _names(m)
+
+    def test_out_of_bounds_flagged(self):
+        m = InvariantMonitor()
+        s = _Sprayer()
+        m.on_lane_spray(s, 1, 0, 4096, 8192, 8192, False)
+        assert "path-lane-psn-overlap" in _names(m)
+
+    def test_respray_may_recover_covered_bytes(self):
+        m = InvariantMonitor()
+        s = _Sprayer()
+        m.on_lane_spray(s, 1, 0, 0, 4096, 8192, False)
+        m.on_lane_spray(s, 1, 1, 4096, 4096, 8192, False)
+        # lane 1 died: its share is re-sprayed on lane 0 — no violation
+        m.on_lane_spray(s, 1, 0, 4096, 4096, 8192, True)
+        assert m.violations == []
+
+    def test_sprays_tracked_independently(self):
+        m = InvariantMonitor()
+        a, b = _Sprayer(), _Sprayer()
+        m.on_lane_spray(a, 1, 0, 0, 4096, 8192, False)
+        m.on_lane_spray(b, 2, 0, 0, 4096, 8192, False)  # other spray id
+        assert m.violations == []
+
+
+class TestReassemblyGap:
+    def test_full_coverage_passes(self):
+        m = InvariantMonitor()
+        m.on_lane_complete(object(), 1, 3, 8192,
+                           [(0, 4096, 0), (4096, 4096, 1)])
+        assert m.violations == []
+
+    def test_gap_flagged(self):
+        m = InvariantMonitor()
+        m.on_lane_complete(object(), 1, 3, 8192,
+                           [(0, 4096, 0), (5000, 3192, 1)])
+        assert "lane-reassembly-gap" in _names(m)
+
+    def test_short_coverage_flagged(self):
+        m = InvariantMonitor()
+        m.on_lane_complete(object(), 1, 3, 8192, [(0, 4096, 0)])
+        assert "lane-reassembly-gap" in _names(m)
+
+    def test_respray_duplicates_pass(self):
+        m = InvariantMonitor()
+        m.on_lane_complete(object(), 1, 3, 8192,
+                           [(0, 4096, 0), (4096, 4096, 1),
+                            (4096, 4096, 0)])
+        assert m.violations == []
+
+
+class TestIndependentMerge:
+    def test_merge_matches_spec(self):
+        assert _merge_ranges([(4, 4), (0, 4), (10, 2)]) == [(0, 8), (10, 2)]
+        assert _merge_ranges([]) == []
+        assert _merge_ranges([(0, 8), (2, 2)]) == [(0, 8)]

@@ -1,0 +1,142 @@
+"""k-path lane spraying end-to-end: delivery, failover, exactly-once.
+
+The MRC-style properties under test (§II-B lineage): a broadcast
+striped over k lanes still delivers exactly once to every receiver; a
+lane killed mid-transfer is recovered by re-spraying its share over
+the survivors, whose PSN streams never rewind — zero timeouts, zero
+retransmitted packets on the surviving lanes, hence no group-wide
+go-back-N.
+"""
+
+import pytest
+
+from repro.apps import Cluster
+from repro.collectives import CepheusBcast
+from repro.core.accelerator import AcceleratorConfig
+from repro.errors import ConfigurationError
+from repro.net.failures import FailureInjector
+from repro.net.switch import SwitchConfig
+
+DEPLOYMENTS = ("inline", "lookaside", "source_routed")
+
+
+def _cluster(deployment, seed=0, k=4, hosts=None):
+    return Cluster.fat_tree_cluster(
+        k, hosts_limit=hosts,
+        accel_config=AcceleratorConfig(deployment=deployment),
+        switch_config=SwitchConfig(seed=seed))
+
+
+class TestKLaneDelivery:
+    @pytest.mark.parametrize("deployment", DEPLOYMENTS)
+    @pytest.mark.parametrize("paths", (2, 4))
+    def test_delivers_to_all(self, deployment, paths):
+        cl = _cluster(deployment)
+        members = cl.topo.host_ips[:6]
+        r = CepheusBcast(cl, members, paths=paths).run(1 << 20)
+        assert set(r.recv_times) == set(members[1:])
+        assert r.sender_done is not None
+
+    def test_one_qp_per_member_per_lane(self):
+        cl = _cluster("inline")
+        members = cl.topo.host_ips[:4]
+        algo = CepheusBcast(cl, members, paths=3)
+        algo.prepare()
+        assert algo.group.paths == 3
+        assert len(algo.group.lane_ids) == 3
+        for lane in range(3):
+            assert set(algo.group.lane_members[lane]) == set(members)
+
+    def test_paths_must_be_positive(self, testbed):
+        with pytest.raises(ConfigurationError):
+            CepheusBcast(testbed, testbed.host_ips, paths=0)
+
+    def test_safeguard_is_single_lane_only(self, testbed):
+        with pytest.raises(ConfigurationError):
+            CepheusBcast(testbed, testbed.host_ips, paths=2, safeguard=True)
+
+    def test_source_switching_is_single_lane_only(self):
+        cl = _cluster("inline")
+        members = cl.topo.host_ips[:4]
+        algo = CepheusBcast(cl, members, paths=2)
+        algo.prepare()
+        with pytest.raises(ConfigurationError):
+            algo.set_source(members[1])
+
+    @pytest.mark.parametrize("deployment", DEPLOYMENTS)
+    def test_join_mid_group_gets_all_lanes(self, deployment):
+        cl = _cluster(deployment)
+        members = cl.topo.host_ips[:4]
+        joiner = cl.topo.host_ips[4]
+        algo = CepheusBcast(cl, members, paths=2)
+        algo.prepare()
+        algo.join(joiner)
+        for lane in range(2):
+            assert joiner in algo.group.lane_members[lane]
+        r = algo.run(1 << 18)
+        assert joiner in r.recv_times
+
+
+class TestLaneFailover:
+    """Lane killed mid-transfer: the exactly-once / no-GBN properties."""
+
+    def _run_with_kill(self, deployment, seed, *, paths=2, k=4,
+                       hosts=None, size=1 << 20, kill_lane=1):
+        cl = _cluster(deployment, seed=seed, k=k, hosts=hosts)
+        members = cl.topo.host_ips[:6]
+        root = members[0]
+        algo = CepheusBcast(cl, members, paths=paths,
+                            lane_stall_timeout=5e-4)
+        algo.prepare()
+        injector = FailureInjector(cl.topo)
+        sw, port = cl.topo.lane_uplinks(root, members, paths)[kill_lane]
+        # mid-transfer: the 1MB spray takes ~100us end to end
+        kill_at = cl.sim.now + 15e-6 + seed * 7e-6
+        injector.fail_link(sw, port, at=kill_at)
+        r = algo.run(size)
+        return cl, algo, r
+
+    @pytest.mark.parametrize("deployment", DEPLOYMENTS)
+    @pytest.mark.parametrize("seed", (1, 2))
+    def test_exactly_once_after_lane_kill(self, deployment, seed):
+        cl, algo, r = self._run_with_kill(deployment, seed)
+        members = cl.topo.host_ips[:6]
+        # every receiver completed, and completed exactly once
+        assert set(r.recv_times) == set(members[1:])
+        for ip in members[1:]:
+            assert algo.reassemblers[ip]._completed == {algo.sprayer.spray_id}
+        # the kill was actually detected and recovered by re-spray
+        assert algo.sprayer.dead == {1}
+        assert algo.sprayer.resprays >= 1
+        assert algo.health.dead_events
+
+    @pytest.mark.parametrize("deployment", DEPLOYMENTS)
+    @pytest.mark.parametrize("seed", (1, 2))
+    def test_no_group_wide_go_back_n(self, deployment, seed):
+        """Surviving lanes never rewind: zero timeouts, zero retransmits."""
+        cl, algo, r = self._run_with_kill(deployment, seed)
+        root = cl.topo.host_ips[0]
+        for lane in algo.sprayer.live_lanes:
+            qp = algo.group.lane_members[lane][root]
+            assert qp.timeouts == 0
+            assert qp.retransmitted_packets == 0
+
+    def test_dead_lane_stays_dead_across_sprays(self):
+        cl, algo, _ = self._run_with_kill("inline", 1)
+        r2 = algo.run(1 << 19)  # second broadcast: sprays on survivor only
+        members = cl.topo.host_ips[:6]
+        assert set(r2.recv_times) == set(members[1:])
+        assert algo.sprayer.dead == {1}
+        assert algo.sprayer.resprays == 0  # nothing posted on the dead lane
+
+    def test_four_lanes_on_wide_fat_tree(self):
+        """k=4 needs fat_tree(8): four edge-disjoint uplink stages."""
+        cl, algo, r = self._run_with_kill(
+            "inline", 1, paths=4, k=8, hosts=16, size=1 << 19, kill_lane=2)
+        members = cl.topo.host_ips[:6]
+        assert set(r.recv_times) == set(members[1:])
+        assert algo.sprayer.dead == {2}
+        root = members[0]
+        for lane in algo.sprayer.live_lanes:
+            qp = algo.group.lane_members[lane][root]
+            assert qp.timeouts == 0 and qp.retransmitted_packets == 0

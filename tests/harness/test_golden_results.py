@@ -37,7 +37,8 @@ REGEN = os.environ.get("GOLDEN_REGEN") == "1"
 
 #: Experiments cheap enough (< ~1 s) for tier 1; the rest are tier 2.
 CHEAP = {"fig7b", "fig8", "fig10", "abl-ack", "abl-cnp", "abl-retx",
-         "abl-deploy", "abl-mem", "churn", "srmc_scaling", "brokerfabric"}
+         "abl-deploy", "abl-mem", "churn", "srmc_scaling", "brokerfabric",
+         "mrc_fanin", "mrc_loss"}
 
 PARAMS = [pytest.param(name, marks=() if name in CHEAP
                        else (pytest.mark.slow,))

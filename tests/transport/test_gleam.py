@@ -1,0 +1,87 @@
+"""The Gleam AIMD baseline controller and the RoceConfig cc selector."""
+
+import pytest
+
+from repro.apps import Cluster
+from repro.collectives import CepheusBcast
+from repro.errors import TransportError
+from repro.transport import (DcqcnRateController, GleamConfig,
+                             GleamRateController, RoceConfig)
+
+LINE = 100e9
+
+
+class TestGleamController:
+    def test_md_on_cnp(self, sim):
+        cc = GleamRateController(sim, LINE)
+        cc.on_cnp()
+        assert cc.rate == pytest.approx(LINE / 2)
+        cc.on_cnp()
+        assert cc.rate == pytest.approx(LINE / 4)
+        assert cc.cnp_count == 2
+
+    def test_md_clamps_at_min_rate(self, sim):
+        cfg = GleamConfig(min_rate=1e9)
+        cc = GleamRateController(sim, LINE, cfg)
+        for _ in range(40):
+            cc.on_cnp()
+        assert cc.rate == pytest.approx(1e9)
+
+    def test_timer_clocked_additive_increase(self, sim):
+        cfg = GleamConfig(rate_timer=10e-6, rai=1e9)
+        cc = GleamRateController(sim, LINE, cfg)
+        cc.on_cnp()  # rate = LINE/2
+        cc.start()
+        sim.run(until=35e-6)  # 3 ticks land (10, 20, 30 us)
+        cc.stop()
+        assert cc.rate == pytest.approx(LINE / 2 + 3e9)
+
+    def test_increase_caps_at_line_rate(self, sim):
+        cfg = GleamConfig(rate_timer=1e-6, rai=LINE)
+        cc = GleamRateController(sim, LINE, cfg)
+        cc.start()
+        sim.run(until=5e-6)
+        cc.stop()
+        assert cc.rate == LINE
+
+    def test_bytes_are_ignored(self, sim):
+        cc = GleamRateController(sim, LINE)
+        cc.on_bytes_sent(1 << 30)
+        assert cc.rate == LINE
+
+    def test_stop_drains_the_event_queue(self, sim):
+        cc = GleamRateController(sim, LINE)
+        cc.start()
+        assert cc.active
+        cc.stop()
+        assert not cc.active
+        sim.run()  # would never return if the tick kept re-arming
+
+    def test_disabled_is_inert(self, sim):
+        cc = GleamRateController(sim, LINE, GleamConfig(enabled=False))
+        cc.start()
+        cc.on_cnp()
+        assert not cc.active and cc.rate == LINE and cc.cnp_count == 0
+
+
+class TestCcSelector:
+    def test_default_is_dcqcn(self):
+        cl = Cluster.testbed(2)
+        qp = cl.ctx(cl.host_ips[0]).create_qp()
+        assert isinstance(qp.cc, DcqcnRateController)
+
+    def test_gleam_selectable(self):
+        cl = Cluster.testbed(2, roce_config=RoceConfig(cc="gleam"))
+        qp = cl.ctx(cl.host_ips[0]).create_qp()
+        assert isinstance(qp.cc, GleamRateController)
+
+    def test_unknown_cc_rejected(self):
+        cl = Cluster.testbed(2, roce_config=RoceConfig(cc="bbr"))
+        with pytest.raises(TransportError):
+            cl.ctx(cl.host_ips[0]).create_qp()
+
+    def test_broadcast_completes_under_gleam(self):
+        cl = Cluster.testbed(4, roce_config=RoceConfig(cc="gleam"))
+        r = CepheusBcast(cl, cl.host_ips).run(1 << 18)
+        assert set(r.recv_times) == set(cl.host_ips[1:])
+        assert r.sender_done is not None

@@ -1,0 +1,68 @@
+"""Unit tests for the k-path lane spraying primitives."""
+
+import pytest
+
+from repro import constants
+from repro.errors import TransportError
+from repro.transport.spray import covers, lane_shares, merge_ranges
+
+MTU = constants.MTU_BYTES
+
+
+class TestLaneShares:
+    def test_partition_is_exact(self):
+        for total in (MTU, 3 * MTU, 8 * MTU, 8 * MTU + 17, 1):
+            for k in (1, 2, 3, 4):
+                shares = lane_shares(total, k, MTU)
+                assert len(shares) == k
+                # contiguous, in order, summing to the whole message
+                cursor = 0
+                for off, length in shares:
+                    assert off == cursor
+                    cursor += length
+                assert cursor == total
+
+    def test_mtu_aligned_except_tail(self):
+        shares = lane_shares(10 * MTU + 5, 3, MTU)
+        for off, _length in shares:
+            assert off % MTU == 0
+        # only the last non-empty share may be a partial packet
+        lengths = [l for _, l in shares if l > 0]
+        for l in lengths[:-1]:
+            assert l % MTU == 0
+
+    def test_packet_balanced(self):
+        shares = lane_shares(9 * MTU, 4, MTU)
+        pkts = [(l + MTU - 1) // MTU for _, l in shares]
+        assert max(pkts) - min(pkts) <= 1
+
+    def test_single_lane_is_whole_message(self):
+        assert lane_shares(5 * MTU, 1, MTU) == [(0, 5 * MTU)]
+
+    def test_more_lanes_than_packets_leaves_empty_tails(self):
+        shares = lane_shares(2 * MTU, 4, MTU)
+        assert sum(l for _, l in shares) == 2 * MTU
+        assert sum(1 for _, l in shares if l == 0) == 2
+
+    def test_invalid_args(self):
+        with pytest.raises(TransportError):
+            lane_shares(0, 2, MTU)
+        with pytest.raises(TransportError):
+            lane_shares(MTU, 0, MTU)
+
+
+class TestRangeAlgebra:
+    def test_merge_coalesces_adjacent_and_overlapping(self):
+        assert merge_ranges([(0, 4), (4, 4), (10, 2)]) == [(0, 8), (10, 2)]
+        assert merge_ranges([(0, 6), (2, 2)]) == [(0, 6)]
+        assert merge_ranges([]) == []
+
+    def test_merge_is_order_independent(self):
+        a = [(8, 4), (0, 4), (4, 4)]
+        assert merge_ranges(a) == merge_ranges(sorted(a)) == [(0, 12)]
+
+    def test_covers(self):
+        assert covers([(0, 4), (4, 4)], 8)
+        assert not covers([(0, 4), (5, 3)], 8)      # gap at byte 4
+        assert not covers([(0, 4)], 8)              # short
+        assert covers([(0, 8), (2, 2)], 8)          # duplicates harmless
